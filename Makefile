@@ -1,0 +1,36 @@
+# Distributed Data Persistency — build and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build test vet bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B benchmark per paper table/figure plus engine micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at paper scale (takes tens of minutes
+# on one core; add -quick for a smoke run).
+experiments:
+	$(GO) run ./cmd/ddpbench -exp all | tee results/full.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/socialfeed
+	$(GO) run ./examples/banking
+	$(GO) run ./examples/crashcourse
+	$(GO) run ./examples/modelpicker -reads 0.9 -staleness-ok
+	$(GO) run ./examples/anatomy
+
+clean:
+	$(GO) clean ./...

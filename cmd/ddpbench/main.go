@@ -1,0 +1,40 @@
+// Command ddpbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ddpbench -exp table1|table4|table5|fig6|fig7|fig8|fig9|stats|durability|ablation|recovery|timelines|hybrid|checker|models|all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1, table4, table5, fig6, fig7, fig8, fig9, stats, durability, ablation, recovery, timelines, hybrid, checker, models, all")
+	quick := flag.Bool("quick", false, "shrink the cluster and windows for a fast smoke run")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	engine := flag.String("engine", "", "kv engine: hashtable, map, btree, bplustree, memcache, walstore (default hashtable)")
+	csvOut := flag.Bool("csv", false, "emit tidy CSV instead of text (fig6/fig7/fig8/fig9/durability)")
+	flag.Parse()
+
+	o := harness.DefaultOptions()
+	o.Seed = *seed
+	o.Engine = *engine
+	o.Progress = os.Stderr
+	if *quick {
+		o = o.Quick()
+	}
+
+	run := harness.RunNamed
+	if *csvOut {
+		run = harness.RunNamedCSV
+	}
+	if err := run(os.Stdout, *exp, o); err != nil {
+		fmt.Fprintln(os.Stderr, "ddpbench:", err)
+		os.Exit(1)
+	}
+}

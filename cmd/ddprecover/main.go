@@ -1,0 +1,53 @@
+// Command ddprecover demonstrates crash recovery: it runs a model under
+// load, power-fails the whole cluster at a chosen instant, recovers from the
+// NVM images, and reports what survived.
+//
+// Usage:
+//
+//	ddprecover -model "causal,sync" -crash 3000000
+//	ddprecover -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/ddp"
+)
+
+func main() {
+	model := flag.String("model", "causal,synchronous", "DDP model as <consistency>,<persistency>")
+	crashAt := flag.Int64("crash", 3_000_000, "crash time in simulated ns")
+	all := flag.Bool("all", false, "audit all 25 models")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	models := []ddp.Model{}
+	if *all {
+		models = ddp.AllModels()
+	} else {
+		m, err := ddp.ParseModel(*model)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddprecover:", err)
+			os.Exit(1)
+		}
+		models = append(models, m)
+	}
+
+	fmt.Printf("%-34s %9s %9s %9s %6s %7s\n",
+		"Model", "Acked", "Lost", "LossRate", "Mono", "NStale")
+	for _, m := range models {
+		rep, err := ddp.RunWithCrash(ddp.Config{Model: m, Seed: *seed}, *crashAt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddprecover:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-34s %9d %9d %8.2f%% %6v %7v\n",
+			m, rep.AckedWrites, rep.LostWrites, rep.LossRate()*100,
+			rep.MonotonicReads, rep.NonStaleReads)
+		if rep.LostConfirmedDurable > 0 {
+			fmt.Printf("  !! %d confirmed-durable writes lost (protocol bug)\n", rep.LostConfirmedDurable)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package ddp
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickConfig(m Model) Config {
+	p := DefaultParams()
+	p.Servers = 3
+	p.ClientsPerServer = 4
+	p.Keys = 256
+	return Config{
+		Model:     m,
+		Workload:  WorkloadA,
+		Params:    p,
+		Seed:      9,
+		WarmupNs:  200_000,
+		MeasureNs: 800_000,
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	res, err := Run(quickConfig(Baseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.ThroughputOps <= 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.Model != Baseline || res.Workload != "workload-A" {
+		t.Fatalf("identification wrong: %+v", res)
+	}
+	if !strings.Contains(res.String(), "Mops/s") {
+		t.Fatalf("result string = %q", res.String())
+	}
+}
+
+func TestAllModelsEnumerates25(t *testing.T) {
+	all := AllModels()
+	if len(all) != 25 {
+		t.Fatalf("AllModels = %d", len(all))
+	}
+}
+
+func TestParseModelFacade(t *testing.T) {
+	m, err := ParseModel("causal,sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Consistency != Causal || m.Persistency != Synchronous {
+		t.Fatalf("parse wrong: %+v", m)
+	}
+	if _, err := ParseModel("bogus"); err == nil {
+		t.Fatal("bogus model accepted")
+	}
+	if m.String() != "<Causal, Synchronous>" {
+		t.Fatalf("string = %q", m.String())
+	}
+}
+
+func TestTraitsFacade(t *testing.T) {
+	rows := Table4()
+	if len(rows) != 10 {
+		t.Fatalf("table4 = %d rows", len(rows))
+	}
+	tr, ok := TraitsOf(Baseline)
+	if !ok || tr.Durability != High {
+		t.Fatalf("baseline traits wrong: %+v ok=%v", tr, ok)
+	}
+	// Unrated model still gets a derived durability.
+	tr, ok = TraitsOf(Model{Consistency: EventualConsistency, Persistency: Strict})
+	if ok || tr.Durability != High {
+		t.Fatalf("derived traits wrong: %+v ok=%v", tr, ok)
+	}
+	if Durability(Model{Consistency: Causal, Persistency: EventualPersistency}) != Low {
+		t.Fatal("derived durability wrong")
+	}
+}
+
+func TestVisibilityAndDurabilityPoints(t *testing.T) {
+	if !strings.Contains(VisibilityPoint(Linearizable), "when the update takes place") {
+		t.Fatal("VP description wrong")
+	}
+	if !strings.Contains(DurabilityPoint(Scope), "scope end") {
+		t.Fatal("DP description wrong")
+	}
+}
+
+func TestRunWithCrashFacade(t *testing.T) {
+	rep, err := RunWithCrash(quickConfig(Baseline), 600_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AckedWrites == 0 {
+		t.Fatal("no writes acknowledged before crash")
+	}
+	if rep.LostWrites != 0 || !rep.NonStaleReads {
+		t.Fatalf("baseline should lose nothing: %+v", rep)
+	}
+	if rep.LossRate() != 0 {
+		t.Fatalf("loss rate = %g", rep.LossRate())
+	}
+	relaxed, err := RunWithCrash(
+		quickConfig(Model{Consistency: EventualConsistency, Persistency: EventualPersistency}),
+		600_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.LostConfirmedDurable != 0 {
+		t.Fatalf("confirmed-durable writes lost: %d", relaxed.LostConfirmedDurable)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := quickConfig(Baseline)
+	cfg.Engine = "bogus"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+}
+
+func TestDeterminismThroughFacade(t *testing.T) {
+	a, err := Run(quickConfig(Model{Consistency: Causal, Persistency: Synchronous}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickConfig(Model{Consistency: Causal, Persistency: Synchronous}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ops != b.Ops || a.MeanReadNs != b.MeanReadNs {
+		t.Fatal("facade runs not deterministic")
+	}
+}
+
+func TestRunWithPartialCrashFacade(t *testing.T) {
+	cfg := quickConfig(Model{Consistency: Linearizable, Persistency: EventualPersistency})
+	rep, err := RunWithPartialCrash(cfg, 600_000, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AckedWrites == 0 {
+		t.Fatal("no writes acknowledged")
+	}
+	if rep.LostWrites != 0 {
+		t.Fatalf("single-node crash lost %d writes despite replicas", rep.LostWrites)
+	}
+}
+
+func TestVerifyFacade(t *testing.T) {
+	rep, err := Verify(quickConfig(Baseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Linearizable {
+		t.Fatalf("linearizable run failed verification: %+v", rep)
+	}
+	weak, err := Verify(quickConfig(Model{Consistency: EventualConsistency, Persistency: EventualPersistency}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak.StaleReads == 0 {
+		t.Fatal("eventual run showed no stale reads")
+	}
+}

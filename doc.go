@@ -1,0 +1,9 @@
+// Package repro is a production-quality Go reimplementation of
+// "Distributed Data Persistency" (MICRO 2021): DDP models binding memory
+// persistency with data consistency in replicated in-memory stores.
+//
+// Import repro/ddp for the public API; see README.md for the architecture
+// and cmd/ddpbench for regenerating the paper's evaluation. The benchmarks
+// in this root package (bench_test.go) map one-to-one onto the paper's
+// tables and figures.
+package repro

@@ -1,0 +1,61 @@
+// Banking models the paper's Transactional-consistency use case (Section 9,
+// Spanner-style): operations grouped into transactions with conflict
+// detection, squash, and retry. It shows how the persistency binding moves
+// the commit cost and how contention drives the conflict rate.
+//
+//	go run ./examples/banking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/ddp"
+)
+
+func main() {
+	fmt.Println("Banking on Transactional consistency")
+	fmt.Println()
+	fmt.Println("Each client bundles 5 requests per transaction (paper Section 7);")
+	fmt.Println("conflicting transactions squash and retry (Section 5.4).")
+	fmt.Println()
+
+	fmt.Printf("%-32s %10s %12s %12s %10s\n", "Model", "Mops/s", "wr-mean-ns", "wr-p95-ns", "conflicts")
+	for _, p := range []ddp.Persistency{
+		ddp.Synchronous, ddp.ReadEnforcedPersistency, ddp.Scope, ddp.EventualPersistency,
+	} {
+		m := ddp.Model{Consistency: ddp.Transactional, Persistency: p}
+		res, err := ddp.Run(ddp.Config{Model: m, Workload: ddp.WorkloadA, Seed: 3, WarmupNs: 400_000, MeasureNs: 2_000_000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-32s %10.2f %12.0f %12d %9.1f%%\n",
+			m, res.ThroughputOps/1e6, res.MeanWriteNs, res.P95WriteNs, res.TxnConflictRate*100)
+	}
+
+	fmt.Println()
+	fmt.Println("Contention sensitivity (paper: conflicts roughly halve at 10 clients):")
+	p := ddp.DefaultParams()
+	for _, cps := range []int{2, 20, 30} {
+		p.ClientsPerServer = cps
+		res, err := ddp.Run(ddp.Config{
+			Model:     ddp.Model{Consistency: ddp.Transactional, Persistency: ddp.Synchronous},
+			Workload:  ddp.WorkloadA,
+			Params:    p,
+			Seed:      3,
+			WarmupNs:  400_000,
+			MeasureNs: 2_000_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %3d clients: %5.1f%% of transactions squashed, %.2f Mops/s\n",
+			cps*p.Servers, res.TxnConflictRate*100, res.ThroughputOps/1e6)
+	}
+
+	fmt.Println()
+	fmt.Println("Takeaway (paper Figure 6 discussion): committed transactions are")
+	fmt.Println("never lost under Synchronous persistency, but persists bunch up at")
+	fmt.Println("transaction end — writes pay at commit. Scope or Eventual persistency")
+	fmt.Println("moves durability off the commit path at the cost of crash exposure.")
+}

@@ -1,0 +1,48 @@
+// Crashcourse power-fails the whole cluster mid-run under three
+// representative DDP models and shows what each recovers — Section 3's
+// motivation ("a failure of the entire system can cause the permanent loss
+// of in-memory state") made concrete.
+//
+//	go run ./examples/crashcourse
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/ddp"
+)
+
+func main() {
+	fmt.Println("Crash course: full-cluster power failure at t=2ms, newest-vote recovery")
+	fmt.Println()
+
+	models := []ddp.Model{
+		{Consistency: ddp.Linearizable, Persistency: ddp.Synchronous},
+		{Consistency: ddp.Causal, Persistency: ddp.Synchronous},
+		{Consistency: ddp.EventualConsistency, Persistency: ddp.EventualPersistency},
+	}
+
+	for _, m := range models {
+		rep, err := ddp.RunWithCrash(ddp.Config{Model: m, Workload: ddp.WorkloadA, Seed: 11}, 2_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", m)
+		fmt.Printf("  acknowledged writes before crash: %d\n", rep.AckedWrites)
+		fmt.Printf("  lost in the crash:                %d (%.2f%%)\n", rep.LostWrites, rep.LossRate()*100)
+		fmt.Printf("  keys recovered from NVM:          %d\n", rep.RecoveredKeys)
+		fmt.Printf("  monotonic reads:                  %v\n", rep.MonotonicReads)
+		fmt.Printf("  non-stale reads:                  %v\n", rep.NonStaleReads)
+		if t, ok := ddp.TraitsOf(m); ok {
+			fmt.Printf("  paper's durability rating:        %s\n", t.Durability)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("The strict binding acknowledges a write only after it is durable on")
+	fmt.Println("every replica — nothing acknowledged is ever lost. The eventual")
+	fmt.Println("binding acknowledges immediately and persists lazily — whatever was")
+	fmt.Println("in flight (volatile everywhere) is gone, and reads that had already")
+	fmt.Println("observed those values travel back in time after recovery.")
+}

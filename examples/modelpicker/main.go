@@ -1,0 +1,91 @@
+// Modelpicker sweeps all 25 DDP models for a workload you describe and
+// prints a ranked recommendation table, applying the paper's Section 9
+// guidance: weigh throughput against durability and programmer intuition.
+//
+//	go run ./examples/modelpicker -reads 0.9 -staleness-ok -loss-budget 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/ddp"
+)
+
+func main() {
+	reads := flag.Float64("reads", 0.5, "fraction of reads in the workload [0,1]")
+	stalenessOK := flag.Bool("staleness-ok", false, "application tolerates stale reads")
+	lossBudget := flag.Float64("loss-budget", 0.001, "acceptable fraction of acknowledged writes lost in a crash")
+	flag.Parse()
+
+	wl := ddp.Workload{Name: fmt.Sprintf("custom-%d%%-reads", int(*reads*100)), ReadRatio: *reads}
+
+	type row struct {
+		model    ddp.Model
+		tp       float64
+		lossRate float64
+		mono     bool
+		score    float64
+	}
+	var rows []row
+
+	fmt.Printf("Evaluating 25 DDP models on %s (loss budget %.2f%%, staleness-ok=%v)...\n\n",
+		wl.Name, *lossBudget*100, *stalenessOK)
+
+	var baseTp float64
+	for _, m := range ddp.AllModels() {
+		cfg := ddp.Config{Model: m, Workload: wl, Seed: 5, WarmupNs: 300_000, MeasureNs: 1_200_000}
+		res, err := ddp.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		crash, err := ddp.RunWithCrash(cfg, 1_200_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if m == ddp.Baseline {
+			baseTp = res.ThroughputOps
+		}
+		rows = append(rows, row{
+			model:    m,
+			tp:       res.ThroughputOps,
+			lossRate: crash.LossRate(),
+			mono:     crash.MonotonicReads,
+		})
+	}
+
+	// Score: throughput, gated by the application's requirements.
+	for i := range rows {
+		r := &rows[i]
+		r.score = r.tp / baseTp
+		if r.lossRate > *lossBudget {
+			r.score *= 0.25 // over the durability budget: heavy penalty
+		}
+		if !*stalenessOK && !r.mono {
+			r.score *= 0.5 // needs ordering guarantees the model lacks
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].score > rows[j].score })
+
+	fmt.Printf("%-4s %-34s %10s %10s %6s %8s\n", "Rank", "Model", "Tp (norm)", "CrashLoss", "Mono", "Score")
+	for i, r := range rows {
+		marker := "  "
+		if i == 0 {
+			marker = "->"
+		}
+		fmt.Printf("%s%-2d %-34s %10.2f %9.2f%% %6v %8.2f\n",
+			marker, i+1, r.model, r.tp/baseTp, r.lossRate*100, r.mono, r.score)
+		if i == 9 {
+			fmt.Printf("   ... (%d more)\n", len(rows)-10)
+			break
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Paper guidance this automates (Section 9): latency-sensitive apps that")
+	fmt.Println("tolerate staleness -> weak consistency + strong persistency; consistency-")
+	fmt.Println("sensitive apps -> strict consistency + relaxed persistency; and")
+	fmt.Println("<Causal, Synchronous> as the robust middle ground.")
+}

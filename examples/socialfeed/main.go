@@ -1,0 +1,54 @@
+// Socialfeed models the paper's Section 9 use case for Causal consistency:
+// photo-sharing / news-feed services want reasonable ordering guarantees
+// (you never see a reply before the post it answers) at high throughput.
+// This example compares every persistency binding for Causal consistency on
+// a read-heavy feed workload and shows what a crash costs under each.
+//
+//	go run ./examples/socialfeed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/ddp"
+)
+
+func main() {
+	fmt.Println("Social feed on Causal consistency: choosing a persistency model")
+	fmt.Println()
+	fmt.Println("Workload: YCSB-B (95% reads — feed views vastly outnumber posts)")
+	fmt.Println()
+
+	persistencies := []ddp.Persistency{
+		ddp.Strict, ddp.Synchronous, ddp.ReadEnforcedPersistency, ddp.Scope, ddp.EventualPersistency,
+	}
+
+	fmt.Printf("%-28s %12s %10s %10s %10s %8s\n",
+		"Model", "Mops/s", "rd-ns", "wr-ns", "lost/acked", "buffer")
+	for _, p := range persistencies {
+		m := ddp.Model{Consistency: ddp.Causal, Persistency: p}
+		cfg := ddp.Config{Model: m, Workload: ddp.WorkloadB, Seed: 7, WarmupNs: 400_000, MeasureNs: 2_000_000}
+
+		res, err := ddp.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		crash, err := ddp.RunWithCrash(cfg, 1_500_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %12.2f %10.0f %10.0f %6d/%-6d %8d\n",
+			m, res.ThroughputOps/1e6, res.MeanReadNs, res.MeanWriteNs,
+			crash.LostWrites, crash.AckedWrites, res.CausalBufferPeak)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table (paper, Section 9):")
+	fmt.Println("  - Synchronous persistency keeps throughput near the relaxed models")
+	fmt.Println("    while losing only the posts that were in flight at the crash.")
+	fmt.Println("  - Strict persistency stalls every post on a cluster-wide persist.")
+	fmt.Println("  - Eventual persistency is fastest but a crash silently eats posts.")
+	fmt.Println("  - Synchronous needs more reorder buffering than Eventual because")
+	fmt.Println("    causally dependent posts wait for their parents' NVM persists.")
+}

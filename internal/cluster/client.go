@@ -1,0 +1,327 @@
+package cluster
+
+import (
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/ycsb"
+)
+
+// client is one closed-loop load generator pinned to its local server (the
+// paper runs client threads and worker threads on each node). It issues the
+// next request as soon as the previous completes, wrapping requests in
+// transactions under Transactional consistency and in persist scopes under
+// Scope persistency.
+type client struct {
+	id   int
+	cl   *Cluster
+	node *protocol.Replica
+	gen  *ycsb.Generator
+	rng  *sim.RNG
+
+	// Pipelining: requests currently in flight (window > 1 only outside
+	// transactions and scopes).
+	outstanding int
+
+	// Scope persistency bookkeeping.
+	scopeSeq   uint64
+	opsInScope int
+	scopeRecs  []int // writeLog indices awaiting the scope barrier
+
+	// Transactional bookkeeping.
+	txnGen      uint64 // attempt guard: stale callbacks compare against this
+	txnOps      []ycsb.Op
+	txnFirst    []int64          // first-issue time per op (spans retries)
+	txnStamps   []protocol.Stamp // stamps of the attempt's writes
+	txnStarted  int64
+	txnAttempts int // attempts of the current transaction (backoff growth)
+}
+
+func newClient(id int, cl *Cluster, node *protocol.Replica, gen *ycsb.Generator, rng *sim.RNG) *client {
+	return &client{id: id, cl: cl, node: node, gen: gen, rng: rng, scopeSeq: 1}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (c *client) start() { c.next() }
+
+// window returns how many requests this client keeps in flight.
+// Transactions are inherently sequential; scoped streams pipeline within a
+// scope and drain at its barrier.
+func (c *client) window() int {
+	w := c.cl.Cfg.Params.ClientWindow
+	if w < 2 || c.cl.Cfg.Model.C == core.Transactional {
+		return 1
+	}
+	return w
+}
+
+// scoped reports whether writes carry persist scopes in this run.
+func (c *client) scoped() bool { return c.cl.Cfg.Model.P == core.Scope }
+
+// curScope returns this client's current scope id (globally unique, nonzero).
+func (c *client) curScope() uint64 {
+	if !c.scoped() {
+		return 0
+	}
+	return uint64(c.id+1)<<32 | c.scopeSeq
+}
+
+// next keeps the client's pipeline full: it issues requests until the
+// window is reached, re-arming on every completion. A due scope barrier
+// first drains the pipeline (its writes must be complete before [PERSIST]s
+// makes sense), then runs, then the pipeline refills.
+func (c *client) next() {
+	if c.scoped() && c.opsInScope+c.outstanding >= c.cl.Cfg.Params.ScopeSize {
+		if c.outstanding > 0 {
+			return // draining toward the barrier; completions re-enter next()
+		}
+		c.persistScope(c.next)
+		return
+	}
+	if c.cl.Cfg.Model.C == core.Transactional {
+		c.startTxn()
+		return
+	}
+	for c.outstanding < c.window() {
+		c.issueOne()
+	}
+}
+
+// issueOne submits a single request of whatever kind the workload draws.
+func (c *client) issueOne() {
+	c.outstanding++
+	op := c.gen.Next()
+	start := c.cl.Eng.Now()
+	switch op.Kind {
+	case ycsb.OpScan:
+		c.node.ClientScan(op.Key, op.ScanLen, func(int) {
+			c.outstanding--
+			c.cl.recordRead(c.cl.Eng.Now() - start)
+			c.opsInScope++
+			c.next()
+		})
+		return
+	case ycsb.OpRMW:
+		scope := c.curScope()
+		c.node.ClientRMW(op.Key, scope, 0, func(st protocol.Stamp) {
+			c.outstanding--
+			c.cl.recordWrite(c.cl.Eng.Now() - start)
+			idx := c.cl.logWrite(WriteRecord{
+				Key: op.Key, Stamp: st, Client: c.id, IssueAt: start, AckAt: c.cl.Eng.Now(),
+				Scope: scope, ScopePersisted: !c.scoped(),
+			})
+			if idx >= 0 && c.scoped() {
+				c.scopeRecs = append(c.scopeRecs, idx)
+			}
+			c.opsInScope++
+			c.next()
+		})
+		return
+	}
+	if op.Kind == ycsb.OpRead {
+		c.node.ClientRead(op.Key, 0, func(st protocol.Stamp) {
+			c.outstanding--
+			c.cl.recordRead(c.cl.Eng.Now() - start)
+			c.cl.logRead(ReadRecord{Key: op.Key, Stamp: st, Client: c.id, Node: c.node.ID(), IssueAt: start, DoneAt: c.cl.Eng.Now()})
+			c.opsInScope++
+			c.next()
+		})
+		return
+	}
+	scope := c.curScope()
+	c.node.ClientWrite(op.Key, scope, 0, func(st protocol.Stamp) {
+		c.outstanding--
+		c.cl.recordWrite(c.cl.Eng.Now() - start)
+		idx := c.cl.logWrite(WriteRecord{
+			Key: op.Key, Stamp: st, Client: c.id, IssueAt: start, AckAt: c.cl.Eng.Now(),
+			Scope: scope, ScopePersisted: !c.scoped(),
+		})
+		if idx >= 0 && c.scoped() {
+			c.scopeRecs = append(c.scopeRecs, idx)
+		}
+		c.opsInScope++
+		c.next()
+	})
+}
+
+// persistScope runs the [PERSIST]s barrier and then continues with cont.
+func (c *client) persistScope(cont func()) {
+	scope := c.curScope()
+	recs := c.scopeRecs
+	c.scopeRecs = nil
+	c.scopeSeq++
+	c.opsInScope = 0
+	start := c.cl.Eng.Now()
+	c.node.ClientPersistScope(scope, func() {
+		c.cl.recordScope(c.cl.Eng.Now() - start)
+		for _, i := range recs {
+			c.cl.writeLog[i].ScopePersisted = true
+		}
+		cont()
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Transactional loop
+// ---------------------------------------------------------------------------
+
+// startTxn plans a fresh transaction of XactionSize requests and runs its
+// first attempt.
+func (c *client) startTxn() {
+	n := c.cl.Cfg.Params.XactionSize
+	c.txnOps = c.txnOps[:0]
+	for i := 0; i < n; i++ {
+		c.txnOps = append(c.txnOps, c.gen.Next())
+	}
+	c.txnFirst = make([]int64, n)
+	c.txnStamps = make([]protocol.Stamp, n)
+	c.txnStarted = c.cl.Eng.Now()
+	c.txnAttempts = 0
+	c.attemptTxn()
+}
+
+// attemptTxn runs one attempt of the current transaction.
+func (c *client) attemptTxn() {
+	c.txnAttempts++
+	c.txnGen++
+	gen := c.txnGen
+	c.node.ClientInitTxn(
+		func() { c.txnAborted(gen) },
+		func(id uint64) { c.txnStep(gen, id, 0) },
+	)
+}
+
+// txnStep issues op idx of the current attempt, then ENDX after the last.
+func (c *client) txnStep(gen, id uint64, idx int) {
+	if gen != c.txnGen {
+		return // stale callback from a squashed attempt
+	}
+	if idx == len(c.txnOps) {
+		c.node.ClientEndTxn(id, func(committed bool) {
+			if gen != c.txnGen {
+				return
+			}
+			if committed {
+				c.txnCommitted()
+			} else {
+				c.txnAborted(gen)
+			}
+		})
+		return
+	}
+	op := c.txnOps[idx]
+	now := c.cl.Eng.Now()
+	if c.txnFirst[idx] == 0 {
+		c.txnFirst[idx] = now
+	}
+	if op.Kind == ycsb.OpRead || op.Kind == ycsb.OpScan {
+		issuedAt := now
+		c.node.ClientRead(op.Key, id, func(st protocol.Stamp) {
+			if gen != c.txnGen {
+				return
+			}
+			// Reads are served immediately within the transaction (Figure 4)
+			// and measured per attempt; the retry cost of conflicts lands on
+			// the writes, whose latency spans to the commit (Section 8.1.1:
+			// writes bunch up and pay for restarts).
+			c.cl.recordRead(c.cl.Eng.Now() - issuedAt)
+			c.cl.logRead(ReadRecord{Key: op.Key, Stamp: st, Client: c.id, Node: c.node.ID(), IssueAt: issuedAt, DoneAt: c.cl.Eng.Now()})
+			c.txnStep(gen, id, idx+1)
+		})
+		return
+	}
+	c.node.ClientWrite(op.Key, c.curScope(), id, func(st protocol.Stamp) {
+		if gen != c.txnGen {
+			return
+		}
+		c.txnStamps[idx] = st
+		c.txnStep(gen, id, idx+1)
+	})
+}
+
+// txnCommitted records the committed writes — a transactional write is only
+// "satisfied" once its transaction commits (Section 8.1.1) — and loops.
+func (c *client) txnCommitted() {
+	now := c.cl.Eng.Now()
+	for i, op := range c.txnOps {
+		if op.Kind != ycsb.OpWrite {
+			continue
+		}
+		c.cl.recordWrite(now - c.txnFirst[i])
+		idx := c.cl.logWrite(WriteRecord{
+			Key: op.Key, Stamp: c.txnStamps[i], Client: c.id, IssueAt: c.txnFirst[i], AckAt: now,
+			Scope: c.curScope(), ScopePersisted: !c.scoped(),
+		})
+		if idx >= 0 && c.scoped() {
+			c.scopeRecs = append(c.scopeRecs, idx)
+		}
+	}
+	c.opsInScope += len(c.txnOps)
+	c.txnGen++
+	c.next()
+}
+
+// txnAborted retries the same transaction after a randomized exponential
+// backoff, bounded at 8x the base — conflicts on hot keys otherwise degrade
+// into retry storms.
+func (c *client) txnAborted(gen uint64) {
+	if gen != c.txnGen {
+		return
+	}
+	c.txnGen++
+	resume := c.txnGen
+	backoff := c.cl.Cfg.Params.RetryBackoff
+	scale := int64(1) << uint(min(c.txnAttempts-1, 3))
+	delay := backoff*scale + c.rng.Int63n(backoff*scale+1)
+	c.cl.Eng.Schedule(delay, func() {
+		if c.txnGen != resume {
+			return
+		}
+		c.attemptTxn()
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-side recording
+// ---------------------------------------------------------------------------
+
+func (c *Cluster) recordRead(lat int64) {
+	if c.measuring {
+		c.readHist.Record(lat)
+	}
+}
+
+func (c *Cluster) recordWrite(lat int64) {
+	if c.measuring {
+		c.writeHist.Record(lat)
+	}
+}
+
+func (c *Cluster) recordScope(lat int64) {
+	if c.measuring {
+		c.scopeHist.Record(lat)
+	}
+}
+
+// logWrite appends to the write history when tracking, returning the record
+// index (or -1).
+func (c *Cluster) logWrite(rec WriteRecord) int {
+	if !c.Cfg.TrackHistory {
+		return -1
+	}
+	c.writeLog = append(c.writeLog, rec)
+	return len(c.writeLog) - 1
+}
+
+func (c *Cluster) logRead(rec ReadRecord) {
+	if !c.Cfg.TrackHistory {
+		return
+	}
+	c.readLog = append(c.readLog, rec)
+}

@@ -1,0 +1,289 @@
+// Package cluster assembles the full simulated system: N server nodes (each
+// a protocol replica with its own KV engine images, NVM device, memory
+// hierarchy, worker pool, and NIC) plus closed-loop YCSB clients pinned to
+// their local server, as in the paper's evaluation (Section 7).
+//
+// A Run executes warmup then a measurement window in simulated time and
+// returns throughput, latency distributions, protocol metrics, and traffic
+// accounting — everything the harness needs to regenerate the paper's
+// tables and figures.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engines"
+	"repro/internal/memhier"
+	"repro/internal/nvm"
+	"repro/internal/params"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/ycsb"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Model    core.Model
+	Workload ycsb.Workload
+	Engine   string // engines.New name; "" = hashtable
+	Params   params.Params
+	Seed     uint64
+
+	// WarmupNs and MeasureNs bound the run in simulated time.
+	// Zero values take the defaults (1 ms warmup, 5 ms measurement).
+	WarmupNs  int64
+	MeasureNs int64
+
+	// TrackHistory records every acknowledged write and completed read for
+	// the recovery and intuition checkers. Costs memory; off by default.
+	TrackHistory bool
+
+	// TraceProtocol records every protocol event into Cluster.Trace (see
+	// internal/trace). For timeline demonstrations, not measurement runs.
+	TraceProtocol bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.WarmupNs == 0 {
+		c.WarmupNs = 1_000_000
+	}
+	if c.MeasureNs == 0 {
+		c.MeasureNs = 5_000_000
+	}
+	if c.Workload.Name == "" {
+		c.Workload = ycsb.WorkloadA
+	}
+	if c.Params.Servers == 0 {
+		c.Params = params.Default()
+	}
+	return c
+}
+
+// WriteRecord is one acknowledged write, for durability audits.
+type WriteRecord struct {
+	Key     uint64
+	Stamp   protocol.Stamp
+	Client  int
+	IssueAt int64
+	AckAt   int64
+	Scope   uint64
+	// ScopePersisted is set once the write's scope barrier completed
+	// (always true outside Scope persistency).
+	ScopePersisted bool
+}
+
+// ReadRecord is one completed read, for intuition (monotonic/non-stale)
+// and linearizability checks.
+type ReadRecord struct {
+	Key     uint64
+	Stamp   protocol.Stamp // version returned (zero = no value)
+	Client  int
+	Node    int
+	IssueAt int64
+	DoneAt  int64
+}
+
+// Result carries everything measured during one run.
+type Result struct {
+	Config    Config
+	Summary   stats.Summary
+	ReadHist  stats.Histogram
+	WriteHist stats.Histogram
+
+	// Protocol metrics aggregated across replicas.
+	Protocol protocol.Metrics
+
+	// Device and network pressure.
+	NVMMeanWaitNs  float64
+	NVMMaxQueue    int
+	NetMessages    uint64
+	NetBytes       uint64
+	WorkerMeanWait float64
+
+	// Scope persist barrier latency (only under Scope persistency).
+	ScopeHist stats.Histogram
+
+	// Causal reorder buffering high-water mark across replicas.
+	BufferPeak int
+
+	SimTimeNs int64
+	Events    uint64
+	WallTime  time.Duration
+
+	// Histories (only when Config.TrackHistory).
+	Writes []WriteRecord
+	Reads  []ReadRecord
+}
+
+// Throughput returns measured operations per simulated second.
+func (r *Result) Throughput() float64 { return r.Summary.Throughput }
+
+// Cluster is a fully wired simulation, ready to run. Most callers use Run;
+// the recovery package builds a Cluster directly to crash it mid-flight.
+type Cluster struct {
+	Cfg      Config
+	Eng      *sim.Engine
+	Net      *simnet.Network
+	Replicas []*protocol.Replica
+	Devices  []*nvm.Device
+	Workers  []*sim.Pool
+	Clients  []*client
+
+	readHist  stats.Histogram
+	writeHist stats.Histogram
+	scopeHist stats.Histogram
+	measuring bool
+
+	writeLog []WriteRecord
+	readLog  []ReadRecord
+
+	// Trace holds protocol events when Config.TraceProtocol is set.
+	Trace *trace.Log
+}
+
+// New builds a cluster per cfg. It validates parameters and the engine name.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := engines.New(cfg.Engine); err != nil {
+		return nil, err
+	}
+	if cfg.Params.Groups > 1 &&
+		cfg.Model.C != core.Linearizable && cfg.Model.C != core.ReadEnforcedC {
+		return nil, fmt.Errorf("cluster: hybrid groups support Linearizable or Read-Enforced consistency, not %s", cfg.Model.C)
+	}
+
+	p := cfg.Params
+	eng := sim.New()
+	net := simnet.New(eng, simnet.Config{
+		Nodes:      p.Servers,
+		OneWayLat:  p.OneWayNet(),
+		Jitter:     p.NetJitter,
+		Bandwidth:  p.NetBandwidth,
+		QueuePairs: p.QueuePairs,
+		Seed:       cfg.Seed,
+	})
+	c := &Cluster{Cfg: cfg, Eng: eng, Net: net}
+	var tracer func(node int, what string)
+	if cfg.TraceProtocol {
+		c.Trace = trace.New()
+		tracer = func(node int, what string) { c.Trace.Add(eng.Now(), node, what) }
+	}
+	rng := sim.NewRNG(cfg.Seed ^ 0xddf0ddf0)
+
+	for i := 0; i < p.Servers; i++ {
+		vol, _ := engines.New(cfg.Engine)
+		img, _ := engines.New(cfg.Engine)
+		dev := nvm.New(eng, nvm.NVMConfig(p.NVMReadLat, p.NVMWriteLat, p.NVMChannels, p.NVMBanks))
+		workers := sim.NewPool(eng, p.WorkersPerServer)
+		c.Devices = append(c.Devices, dev)
+		c.Workers = append(c.Workers, workers)
+		c.Replicas = append(c.Replicas, protocol.NewReplica(i, protocol.Deps{
+			Eng:     eng,
+			P:       p,
+			Model:   cfg.Model,
+			Net:     net,
+			NVM:     dev,
+			Mem:     memhier.New(p, rng.Fork()),
+			Workers: workers,
+			Vol:     vol,
+			Img:     img,
+			Trace:   tracer,
+		}))
+	}
+
+	// Clients: ClientsPerServer per node, each with an independent
+	// deterministic request stream over the shared key space.
+	id := 0
+	for n := 0; n < p.Servers; n++ {
+		for k := 0; k < p.ClientsPerServer; k++ {
+			kc := ycsb.NewZipfian(p.Keys, p.ZipfTheta)
+			gen := ycsb.NewGenerator(cfg.Workload, kc, rng.Fork())
+			c.Clients = append(c.Clients, newClient(id, c, c.Replicas[n], gen, rng.Fork()))
+			id++
+		}
+	}
+	return c, nil
+}
+
+// Start launches every client's closed loop at simulated time 0.
+func (c *Cluster) Start() {
+	for _, cl := range c.Clients {
+		cl := cl
+		c.Eng.Schedule(0, cl.start)
+	}
+}
+
+// BeginMeasurement switches latency/throughput recording on.
+func (c *Cluster) BeginMeasurement() { c.measuring = true }
+
+// StopMeasurement switches recording off.
+func (c *Cluster) StopMeasurement() { c.measuring = false }
+
+// Collect assembles the Result after a run. window is the measured
+// simulated duration.
+func (c *Cluster) Collect(window int64, wall time.Duration) *Result {
+	res := &Result{
+		Config:    c.Cfg,
+		ReadHist:  c.readHist,
+		WriteHist: c.writeHist,
+		ScopeHist: c.scopeHist,
+		SimTimeNs: c.Eng.Now(),
+		Events:    c.Eng.Processed(),
+		WallTime:  wall,
+		Writes:    c.writeLog,
+		Reads:     c.readLog,
+	}
+	res.Summary = stats.Summarize(&c.readHist, &c.writeHist, window)
+	var waitSum float64
+	for i, r := range c.Replicas {
+		res.Protocol.Add(&r.M)
+		res.NVMMeanWaitNs += c.Devices[i].MeanWait()
+		if q := c.Devices[i].MaxOutstanding(); q > res.NVMMaxQueue {
+			res.NVMMaxQueue = q
+		}
+		waitSum += c.Workers[i].MeanWait()
+		if b := r.BufferLen(); b > res.BufferPeak {
+			res.BufferPeak = b
+		}
+	}
+	if res.Protocol.BufferPeak > res.BufferPeak {
+		res.BufferPeak = res.Protocol.BufferPeak
+	}
+	n := float64(len(c.Replicas))
+	res.NVMMeanWaitNs /= n
+	res.WorkerMeanWait = waitSum / n
+	res.NetMessages = c.Net.Messages()
+	res.NetBytes = c.Net.Bytes()
+	return res
+}
+
+// Run executes the configured simulation: warmup, measurement, collection.
+func Run(cfg Config) (*Result, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	c.Start()
+	c.Eng.Run(c.Cfg.WarmupNs)
+	c.BeginMeasurement()
+	c.Eng.Run(c.Cfg.WarmupNs + c.Cfg.MeasureNs)
+	c.StopMeasurement()
+	return c.Collect(c.Cfg.MeasureNs, time.Since(start)), nil
+}
+
+// String renders a one-line result header.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s %s: %.2f Mops/s, rd %.0fns, wr %.0fns (p95 %d/%d)",
+		r.Config.Model, r.Config.Workload.Name,
+		r.Summary.Throughput/1e6, r.Summary.MeanRead, r.Summary.MeanWrite,
+		r.Summary.P95Read, r.Summary.P95Write)
+}

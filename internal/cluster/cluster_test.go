@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/params"
+	"repro/internal/ycsb"
+)
+
+// smallParams shrinks the cluster so tests stay fast.
+func smallParams() params.Params {
+	p := params.Default()
+	p.Servers = 3
+	p.ClientsPerServer = 4
+	p.Keys = 256
+	return p
+}
+
+func smallConfig(m core.Model) Config {
+	return Config{
+		Model:     m,
+		Workload:  ycsb.WorkloadA,
+		Params:    smallParams(),
+		Seed:      42,
+		WarmupNs:  200_000,
+		MeasureNs: 800_000,
+	}
+}
+
+func TestRunProducesThroughput(t *testing.T) {
+	res, err := Run(smallConfig(core.Baseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	if res.Summary.Throughput <= 0 {
+		t.Fatalf("throughput = %g", res.Summary.Throughput)
+	}
+	if res.Summary.MeanRead <= 0 || res.Summary.MeanWrite <= 0 {
+		t.Fatalf("latencies missing: rd=%g wr=%g", res.Summary.MeanRead, res.Summary.MeanWrite)
+	}
+	if res.NetMessages == 0 || res.NetBytes == 0 {
+		t.Fatal("no network traffic recorded")
+	}
+	if res.Protocol.Persists == 0 {
+		t.Fatal("no persists under Synchronous persistency")
+	}
+}
+
+func TestAllModelsRunToCompletion(t *testing.T) {
+	for _, m := range core.AllModels() {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			cfg := smallConfig(m)
+			cfg.WarmupNs = 100_000
+			cfg.MeasureNs = 400_000
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Summary.Ops == 0 {
+				t.Fatalf("%s: no completed operations", m)
+			}
+		})
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := smallConfig(core.Model{C: core.Causal, P: core.Synchronous})
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary.Ops != b.Summary.Ops || a.Events != b.Events ||
+		a.Summary.MeanRead != b.Summary.MeanRead {
+		t.Fatalf("same seed, different results: %+v vs %+v", a.Summary, b.Summary)
+	}
+}
+
+func TestSeedChangesRun(t *testing.T) {
+	cfg := smallConfig(core.Baseline)
+	a, _ := Run(cfg)
+	cfg.Seed = 43
+	b, _ := Run(cfg)
+	if a.Summary.Ops == b.Summary.Ops && a.Events == b.Events {
+		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestRelaxedModelsOutperformStrict(t *testing.T) {
+	strict, err := Run(smallConfig(core.Baseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed, err := Run(smallConfig(core.Model{C: core.Eventual, P: core.EventualP}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.Throughput() <= strict.Throughput() {
+		t.Fatalf("<Eventual,Eventual> (%.2g) should beat <Lin,Sync> (%.2g)",
+			relaxed.Throughput(), strict.Throughput())
+	}
+}
+
+func TestTransactionalRunCommitsAndMayConflict(t *testing.T) {
+	cfg := smallConfig(core.Model{C: core.Transactional, P: core.Synchronous})
+	cfg.MeasureNs = 1_500_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Protocol.TxnCommitted == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if res.Summary.Ops == 0 {
+		t.Fatal("no ops recorded")
+	}
+}
+
+func TestScopeModelRunsBarriers(t *testing.T) {
+	cfg := smallConfig(core.Model{C: core.Linearizable, P: core.Scope})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Protocol.ScopePersists == 0 {
+		t.Fatal("no scope barriers executed")
+	}
+	if res.ScopeHist.Count() == 0 {
+		t.Fatal("no scope barrier latencies recorded")
+	}
+}
+
+func TestTrackHistoryRecordsLogs(t *testing.T) {
+	cfg := smallConfig(core.Baseline)
+	cfg.TrackHistory = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Writes) == 0 || len(res.Reads) == 0 {
+		t.Fatalf("history not tracked: %d writes, %d reads", len(res.Writes), len(res.Reads))
+	}
+	for _, w := range res.Writes {
+		if w.Stamp.IsZero() {
+			t.Fatal("acknowledged write with zero stamp")
+		}
+		if !w.ScopePersisted {
+			t.Fatal("non-scope run should mark writes ScopePersisted")
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := smallConfig(core.Baseline)
+	cfg.Engine = "bogus"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+	cfg = smallConfig(core.Baseline)
+	cfg.Params.Servers = -1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestEnginesAllWork(t *testing.T) {
+	for _, name := range []string{"hashtable", "map", "btree", "bplustree", "memcache", "walstore"} {
+		cfg := smallConfig(core.Model{C: core.Causal, P: core.Synchronous})
+		cfg.Engine = name
+		cfg.MeasureNs = 300_000
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Summary.Ops == 0 {
+			t.Fatalf("%s: no ops", name)
+		}
+	}
+}
+
+func TestWorkloadMixAffectsCounts(t *testing.T) {
+	cfg := smallConfig(core.Model{C: core.Causal, P: core.EventualP})
+	cfg.Workload = ycsb.WorkloadB
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReadHist.Count() <= res.WriteHist.Count() {
+		t.Fatalf("workload-B should be read-dominated: %d reads vs %d writes",
+			res.ReadHist.Count(), res.WriteHist.Count())
+	}
+}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// throughputOf runs a quick cell and returns simulated throughput.
+func throughputOf(t *testing.T, m core.Model) float64 {
+	t.Helper()
+	cfg := smallConfig(m)
+	cfg.MeasureNs = 1_000_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", m, err)
+	}
+	return res.Throughput()
+}
+
+// TestStrictnessOrderingWithinConsistency asserts the paper's qualitative
+// ordering inside each consistency group: Strict persistency never beats
+// the group's relaxed extremes, and Eventual persistency is never the
+// slowest of the group. (Exact middle orderings are workload-dependent —
+// Section 8.1.1's NVM-pressure anomaly reorders Synchronous and
+// Read-Enforced — so only the endpoints are asserted.)
+func TestStrictnessOrderingWithinConsistency(t *testing.T) {
+	for _, c := range core.Consistencies() {
+		tp := map[core.Persistency]float64{}
+		for _, p := range core.Persistencies() {
+			tp[p] = throughputOf(t, core.Model{C: c, P: p})
+		}
+		slack := 1.10 // simulation noise tolerance
+		if tp[core.Strict] > tp[core.EventualP]*slack {
+			t.Errorf("%s: Strict (%.2g) should not beat Eventual persistency (%.2g)",
+				c, tp[core.Strict], tp[core.EventualP])
+		}
+		if tp[core.Strict] > tp[core.Scope]*slack {
+			t.Errorf("%s: Strict (%.2g) should not beat Scope (%.2g)",
+				c, tp[core.Strict], tp[core.Scope])
+		}
+	}
+}
+
+// TestConsistencyOrderingUnderFixedPersistency asserts Figure 6's headline:
+// under any persistency model, weak consistency (Causal/Eventual) beats
+// Linearizable, and Eventual consistency is the fastest group.
+func TestConsistencyOrderingUnderFixedPersistency(t *testing.T) {
+	for _, p := range []core.Persistency{core.Synchronous, core.EventualP} {
+		lin := throughputOf(t, core.Model{C: core.Linearizable, P: p})
+		causal := throughputOf(t, core.Model{C: core.Causal, P: p})
+		eventual := throughputOf(t, core.Model{C: core.Eventual, P: p})
+		if causal <= lin {
+			t.Errorf("persistency %s: Causal (%.2g) should beat Linearizable (%.2g)", p, causal, lin)
+		}
+		if eventual < causal*0.9 {
+			t.Errorf("persistency %s: Eventual (%.2g) should be at least Causal-fast (%.2g)", p, eventual, causal)
+		}
+	}
+}
+
+// TestLatencyOrderingReads asserts the read-latency structure of Figure 6b:
+// weak-consistency reads never stall, so their mean read latency is far
+// below Linearizable's under Synchronous persistency.
+func TestLatencyOrderingReads(t *testing.T) {
+	read := func(m core.Model) float64 {
+		cfg := smallConfig(m)
+		cfg.MeasureNs = 1_000_000
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		return res.Summary.MeanRead
+	}
+	lin := read(core.Baseline)
+	causal := read(core.Model{C: core.Causal, P: core.Synchronous})
+	if causal >= lin {
+		t.Fatalf("causal mean read (%.0f) should undercut linearizable (%.0f)", causal, lin)
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringNames(t *testing.T) {
+	if Linearizable.String() != "Linearizable" || EventualP.String() != "Eventual" {
+		t.Fatal("model names wrong")
+	}
+	m := Model{Causal, Synchronous}
+	if m.String() != "<Causal, Synchronous>" {
+		t.Fatalf("model string = %q", m.String())
+	}
+	if !strings.Contains(Consistency(99).String(), "99") {
+		t.Fatal("unknown consistency should render its number")
+	}
+	if !strings.Contains(Persistency(99).String(), "99") {
+		t.Fatal("unknown persistency should render its number")
+	}
+}
+
+func TestAllModelsIs25AndUnique(t *testing.T) {
+	all := AllModels()
+	if len(all) != 25 {
+		t.Fatalf("AllModels = %d entries, want 25", len(all))
+	}
+	seen := map[Model]bool{}
+	for _, m := range all {
+		if seen[m] {
+			t.Fatalf("duplicate model %s", m)
+		}
+		seen[m] = true
+	}
+	if all[0] != (Model{Linearizable, Strict}) {
+		t.Fatalf("first model = %s, want <Linearizable, Strict>", all[0])
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	cases := map[string]Model{
+		"<Causal, Synchronous>":        {Causal, Synchronous},
+		"linearizable,strict":          {Linearizable, Strict},
+		"xact/scope":                   {Transactional, Scope},
+		"re,re":                        {ReadEnforcedC, ReadEnforcedP},
+		"Eventual , Eventual":          {Eventual, EventualP},
+		"<Read-Enforced, Eventual>":    {ReadEnforcedC, EventualP},
+		"<Linearizable,Read-Enforced>": {Linearizable, ReadEnforcedP},
+	}
+	for in, want := range cases {
+		got, err := ParseModel(in)
+		if err != nil {
+			t.Fatalf("ParseModel(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("ParseModel(%q) = %s, want %s", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "causal", "a,b,c", "nope,sync", "causal,nope"} {
+		if _, err := ParseModel(bad); err == nil {
+			t.Fatalf("ParseModel(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, m := range AllModels() {
+		got, err := ParseModel(m.String())
+		if err != nil {
+			t.Fatalf("round trip %s: %v", m, err)
+		}
+		if got != m {
+			t.Fatalf("round trip %s = %s", m, got)
+		}
+	}
+}
+
+func TestVPAndDPDescriptionsComplete(t *testing.T) {
+	for _, c := range Consistencies() {
+		if d := VPDescription(c); d == "" || d == "unknown" {
+			t.Fatalf("missing VP description for %s", c)
+		}
+	}
+	for _, p := range Persistencies() {
+		if d := DPDescription(p); d == "" || d == "unknown" {
+			t.Fatalf("missing DP description for %s", p)
+		}
+	}
+	// Spot-check Table 2 wording anchors.
+	if !strings.Contains(VPDescription(Transactional), "transaction end") {
+		t.Fatal("transactional VP should mention transaction end")
+	}
+	if !strings.Contains(DPDescription(Synchronous), "visibility point") {
+		t.Fatal("synchronous DP should reference the VP")
+	}
+}
+
+func TestProtocolClassPredicates(t *testing.T) {
+	for _, c := range []Consistency{Linearizable, ReadEnforcedC, Transactional} {
+		if !UsesInvAckVal(c) {
+			t.Fatalf("%s should use INV/ACK/VAL", c)
+		}
+	}
+	for _, c := range []Consistency{Causal, Eventual} {
+		if UsesInvAckVal(c) {
+			t.Fatalf("%s should not use INV/ACK/VAL", c)
+		}
+	}
+	if !CarriesCausalHistory(Causal) || CarriesCausalHistory(Eventual) {
+		t.Fatal("cauhist predicate wrong")
+	}
+}
+
+func TestTable4HasTenRowsMatchingPaper(t *testing.T) {
+	rows := Table4()
+	if len(rows) != 10 {
+		t.Fatalf("Table4 rows = %d, want 10", len(rows))
+	}
+	// Row 1: <Linearizable, Synchronous> — high durability, low performance,
+	// fully intuitive.
+	r1 := rows[0]
+	if r1.Model != Baseline || r1.Durability != High || r1.Performance != Low ||
+		!r1.MonotonicReads || !r1.NonStaleReads || r1.Intuition != High {
+		t.Fatalf("row 1 wrong: %+v", r1)
+	}
+	// Row 5: <Eventual, Synchronous> — low durability, high performance, low
+	// intuition.
+	r5 := rows[4]
+	if r5.Model != (Model{Eventual, Synchronous}) || r5.Durability != Low ||
+		r5.Performance != High || r5.Intuition != Low {
+		t.Fatalf("row 5 wrong: %+v", r5)
+	}
+	// Row 9: <Linearizable, Scope> — high durability, high performance, low
+	// programmability and implementability.
+	r9 := rows[8]
+	if r9.Model != (Model{Linearizable, Scope}) || r9.Durability != High ||
+		r9.Programmability != Low || r9.Implementability != Low {
+		t.Fatalf("row 9 wrong: %+v", r9)
+	}
+}
+
+func TestTraitsOf(t *testing.T) {
+	if _, ok := TraitsOf(Model{Causal, Synchronous}); !ok {
+		t.Fatal("<Causal, Synchronous> should be a rated row")
+	}
+	if _, ok := TraitsOf(Model{Eventual, Strict}); ok {
+		t.Fatal("<Eventual, Strict> is not in Table 4")
+	}
+	// Returned copy must not alias the internal table.
+	rows := Table4()
+	rows[0].Durability = Low
+	if r, _ := TraitsOf(Baseline); r.Durability != High {
+		t.Fatal("Table4 returned aliased storage")
+	}
+}
+
+func TestDurabilityOfDerivation(t *testing.T) {
+	cases := map[Model]Level{
+		{Linearizable, Strict}:      High,
+		{Eventual, Strict}:          High,
+		{Linearizable, Synchronous}: High,   // table row
+		{Causal, Synchronous}:       Medium, // table row
+		{Eventual, Synchronous}:     Low,    // table row
+		{Causal, ReadEnforcedP}:     Medium, // table row
+		{Eventual, ReadEnforcedP}:   Low,
+		{Causal, Scope}:             High,
+		{Causal, EventualP}:         Low,
+		{Transactional, EventualP}:  Low,
+	}
+	for m, want := range cases {
+		if got := DurabilityOf(m); got != want {
+			t.Fatalf("DurabilityOf(%s) = %s, want %s", m, got, want)
+		}
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	if Low.String() != "low" || Medium.Arrow() != "→" || High.Arrow() != "↑" {
+		t.Fatal("level rendering wrong")
+	}
+	if Level(9).String() != "?" || Level(9).Arrow() != "?" {
+		t.Fatal("unknown level rendering wrong")
+	}
+}
+
+func TestDescribeCoversAllModels(t *testing.T) {
+	for _, m := range AllModels() {
+		s := Describe(m)
+		if s.WriteCompletion == "" || s.ReadRule == "" || s.PersistSchedule == "" {
+			t.Fatalf("%s: incomplete semantics: %+v", m, s)
+		}
+		if len(s.Messages) == 0 {
+			t.Fatalf("%s: no messages listed", m)
+		}
+		if !strings.Contains(s.String(), "write completes") {
+			t.Fatalf("%s: rendering broken", m)
+		}
+	}
+	// Spot checks anchoring to the paper's figures.
+	if s := Describe(Model{Linearizable, ReadEnforcedP}); !strings.Contains(s.ReadRule, "VAL_p") {
+		t.Fatalf("Lin+REP read rule wrong: %s", s.ReadRule)
+	}
+	if s := Describe(Model{Causal, Synchronous}); !strings.Contains(s.ReadRule, "persisted") {
+		t.Fatalf("Causal+Sync read rule wrong: %s", s.ReadRule)
+	}
+	if s := Describe(Model{Eventual, Strict}); !strings.Contains(s.WriteCompletion, "Strict persistency overrides") {
+		t.Fatalf("Ev+Strict write rule wrong: %s", s.WriteCompletion)
+	}
+}

@@ -1,0 +1,314 @@
+package engines
+
+// BPlusTree is a B+ tree: all items live in leaves, internal nodes hold
+// routing keys only, and leaves are linked for cheap ordered scans. It
+// corresponds to the paper's BPlusTree application (TLX).
+type BPlusTree struct {
+	root  bpNode
+	first *bpLeaf
+	n     int
+}
+
+// bpOrder is the maximum number of items per leaf / children per inner node.
+const bpOrder = 32
+
+type bpNode interface {
+	// insert returns a new right sibling and its separator key when the
+	// node split, otherwise nil.
+	insert(key uint64, item Item, t *BPlusTree) (bpNode, uint64)
+	// remove deletes key (if present). underflow reports whether the node
+	// fell below the minimum occupancy.
+	remove(key uint64) (removed, underflow bool)
+	find(key uint64) (Item, bool)
+	minKey() uint64
+	size() int
+}
+
+type bpLeaf struct {
+	keys  []uint64
+	items []Item
+	next  *bpLeaf
+}
+
+type bpInner struct {
+	// children[i] covers keys < keys[i]; children[len(keys)] covers the rest.
+	keys     []uint64
+	children []bpNode
+}
+
+// NewBPlusTree returns an empty tree.
+func NewBPlusTree() *BPlusTree {
+	leaf := &bpLeaf{}
+	return &BPlusTree{root: leaf, first: leaf}
+}
+
+func lowerBound(keys []uint64, key uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// --- leaf ---
+
+func (l *bpLeaf) find(key uint64) (Item, bool) {
+	i := lowerBound(l.keys, key)
+	if i < len(l.keys) && l.keys[i] == key {
+		return l.items[i], true
+	}
+	return Item{}, false
+}
+
+func (l *bpLeaf) insert(key uint64, item Item, t *BPlusTree) (bpNode, uint64) {
+	i := lowerBound(l.keys, key)
+	if i < len(l.keys) && l.keys[i] == key {
+		l.items[i] = item
+		return nil, 0
+	}
+	l.keys = append(l.keys, 0)
+	copy(l.keys[i+1:], l.keys[i:])
+	l.keys[i] = key
+	l.items = append(l.items, Item{})
+	copy(l.items[i+1:], l.items[i:])
+	l.items[i] = item
+	t.n++
+	if len(l.keys) <= bpOrder {
+		return nil, 0
+	}
+	mid := len(l.keys) / 2
+	right := &bpLeaf{
+		keys:  append([]uint64(nil), l.keys[mid:]...),
+		items: append([]Item(nil), l.items[mid:]...),
+		next:  l.next,
+	}
+	l.keys = l.keys[:mid]
+	l.items = l.items[:mid]
+	l.next = right
+	return right, right.keys[0]
+}
+
+func (l *bpLeaf) remove(key uint64) (bool, bool) {
+	i := lowerBound(l.keys, key)
+	if i >= len(l.keys) || l.keys[i] != key {
+		return false, false
+	}
+	l.keys = append(l.keys[:i], l.keys[i+1:]...)
+	l.items = append(l.items[:i], l.items[i+1:]...)
+	return true, len(l.keys) < bpOrder/2
+}
+
+func (l *bpLeaf) minKey() uint64 { return l.keys[0] }
+func (l *bpLeaf) size() int      { return len(l.keys) }
+
+// --- inner ---
+
+func (in *bpInner) childIndex(key uint64) int {
+	i := lowerBound(in.keys, key)
+	if i < len(in.keys) && in.keys[i] == key {
+		return i + 1
+	}
+	return i
+}
+
+func (in *bpInner) find(key uint64) (Item, bool) {
+	return in.children[in.childIndex(key)].find(key)
+}
+
+func (in *bpInner) insert(key uint64, item Item, t *BPlusTree) (bpNode, uint64) {
+	ci := in.childIndex(key)
+	newChild, sep := in.children[ci].insert(key, item, t)
+	if newChild == nil {
+		return nil, 0
+	}
+	in.keys = append(in.keys, 0)
+	copy(in.keys[ci+1:], in.keys[ci:])
+	in.keys[ci] = sep
+	in.children = append(in.children, nil)
+	copy(in.children[ci+2:], in.children[ci+1:])
+	in.children[ci+1] = newChild
+	if len(in.children) <= bpOrder {
+		return nil, 0
+	}
+	mid := len(in.keys) / 2
+	upKey := in.keys[mid]
+	right := &bpInner{
+		keys:     append([]uint64(nil), in.keys[mid+1:]...),
+		children: append([]bpNode(nil), in.children[mid+1:]...),
+	}
+	in.keys = in.keys[:mid]
+	in.children = in.children[:mid+1]
+	return right, upKey
+}
+
+func (in *bpInner) remove(key uint64) (bool, bool) {
+	ci := in.childIndex(key)
+	removed, under := in.children[ci].remove(key)
+	if !removed {
+		return false, false
+	}
+	if under {
+		in.fixChild(ci)
+	}
+	// Keep routing keys in sync with child minimums (cheap local repair).
+	for i := range in.keys {
+		if in.children[i+1].size() > 0 {
+			in.keys[i] = in.children[i+1].minKey()
+		}
+	}
+	return true, len(in.children) < (bpOrder+1)/2
+}
+
+// fixChild rebalances child ci after an underflow by borrowing from or
+// merging with a sibling.
+func (in *bpInner) fixChild(ci int) {
+	// Try borrowing from the left sibling.
+	if ci > 0 && in.children[ci-1].size() > minOcc(in.children[ci-1]) {
+		in.shiftRight(ci - 1)
+		return
+	}
+	// Try borrowing from the right sibling.
+	if ci < len(in.children)-1 && in.children[ci+1].size() > minOcc(in.children[ci+1]) {
+		in.shiftLeft(ci)
+		return
+	}
+	// Merge with a sibling.
+	if ci > 0 {
+		in.merge(ci - 1)
+	} else if ci < len(in.children)-1 {
+		in.merge(ci)
+	}
+}
+
+func minOcc(n bpNode) int {
+	switch n.(type) {
+	case *bpLeaf:
+		return bpOrder / 2
+	default:
+		return (bpOrder + 1) / 2
+	}
+}
+
+// shiftRight moves the last entry of children[i] into children[i+1].
+func (in *bpInner) shiftRight(i int) {
+	switch left := in.children[i].(type) {
+	case *bpLeaf:
+		right := in.children[i+1].(*bpLeaf)
+		last := len(left.keys) - 1
+		right.keys = append([]uint64{left.keys[last]}, right.keys...)
+		right.items = append([]Item{left.items[last]}, right.items...)
+		left.keys = left.keys[:last]
+		left.items = left.items[:last]
+		in.keys[i] = right.keys[0]
+	case *bpInner:
+		right := in.children[i+1].(*bpInner)
+		lastC := len(left.children) - 1
+		right.keys = append([]uint64{in.keys[i]}, right.keys...)
+		right.children = append([]bpNode{left.children[lastC]}, right.children...)
+		in.keys[i] = left.keys[len(left.keys)-1]
+		left.keys = left.keys[:len(left.keys)-1]
+		left.children = left.children[:lastC]
+	}
+}
+
+// shiftLeft moves the first entry of children[i+1] into children[i].
+func (in *bpInner) shiftLeft(i int) {
+	switch left := in.children[i].(type) {
+	case *bpLeaf:
+		right := in.children[i+1].(*bpLeaf)
+		left.keys = append(left.keys, right.keys[0])
+		left.items = append(left.items, right.items[0])
+		right.keys = right.keys[1:]
+		right.items = right.items[1:]
+		in.keys[i] = right.keys[0]
+	case *bpInner:
+		right := in.children[i+1].(*bpInner)
+		left.keys = append(left.keys, in.keys[i])
+		left.children = append(left.children, right.children[0])
+		in.keys[i] = right.keys[0]
+		right.keys = right.keys[1:]
+		right.children = right.children[1:]
+	}
+}
+
+// merge folds children[i+1] into children[i].
+func (in *bpInner) merge(i int) {
+	switch left := in.children[i].(type) {
+	case *bpLeaf:
+		right := in.children[i+1].(*bpLeaf)
+		left.keys = append(left.keys, right.keys...)
+		left.items = append(left.items, right.items...)
+		left.next = right.next
+	case *bpInner:
+		right := in.children[i+1].(*bpInner)
+		left.keys = append(left.keys, in.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	in.keys = append(in.keys[:i], in.keys[i+1:]...)
+	in.children = append(in.children[:i+1], in.children[i+2:]...)
+}
+
+func (in *bpInner) minKey() uint64 { return in.children[0].minKey() }
+func (in *bpInner) size() int      { return len(in.children) }
+
+// --- tree API ---
+
+// Get implements Engine.
+func (t *BPlusTree) Get(key uint64) (Item, bool) { return t.root.find(key) }
+
+// Put implements Engine.
+func (t *BPlusTree) Put(key uint64, item Item) {
+	right, sep := t.root.insert(key, item, t)
+	if right != nil {
+		t.root = &bpInner{keys: []uint64{sep}, children: []bpNode{t.root, right}}
+	}
+}
+
+// Delete implements Engine.
+func (t *BPlusTree) Delete(key uint64) bool {
+	removed, _ := t.root.remove(key)
+	if !removed {
+		return false
+	}
+	t.n--
+	if in, ok := t.root.(*bpInner); ok && len(in.children) == 1 {
+		t.root = in.children[0]
+	}
+	return true
+}
+
+// Len implements Engine.
+func (t *BPlusTree) Len() int { return t.n }
+
+// Range implements Engine; walks the leaf chain in ascending order.
+func (t *BPlusTree) Range(fn func(key uint64, item Item) bool) {
+	// Find the leftmost leaf from the root (first may be stale after merges
+	// of the initial leaf; descending is always correct).
+	nd := t.root
+	for {
+		in, ok := nd.(*bpInner)
+		if !ok {
+			break
+		}
+		nd = in.children[0]
+	}
+	for l := nd.(*bpLeaf); l != nil; l = l.next {
+		for i := range l.keys {
+			if !fn(l.keys[i], l.items[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Name implements Engine.
+func (t *BPlusTree) Name() string { return "bplustree" }
+
+// OpCost implements Engine.
+func (t *BPlusTree) OpCost() float64 { return 1.7 }

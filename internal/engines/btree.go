@@ -1,0 +1,341 @@
+package engines
+
+// BTree is a classic in-memory B-tree (items stored in every node), degree
+// btDegree. It corresponds to the paper's B-Tree application (cpp-btree).
+type BTree struct {
+	root *btNode
+	n    int
+}
+
+// btDegree is the minimum degree t: nodes hold t-1..2t-1 keys.
+const btDegree = 16
+
+type btNode struct {
+	keys     []uint64
+	items    []Item
+	children []*btNode // nil for leaves
+}
+
+func (nd *btNode) leaf() bool { return nd.children == nil }
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &btNode{}}
+}
+
+// search returns the index of key in nd.keys, or the child index to descend.
+func (nd *btNode) search(key uint64) (int, bool) {
+	lo, hi := 0, len(nd.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nd.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(nd.keys) && nd.keys[lo] == key {
+		return lo, true
+	}
+	return lo, false
+}
+
+// Get implements Engine.
+func (t *BTree) Get(key uint64) (Item, bool) {
+	nd := t.root
+	for {
+		i, ok := nd.search(key)
+		if ok {
+			return nd.items[i], true
+		}
+		if nd.leaf() {
+			return Item{}, false
+		}
+		nd = nd.children[i]
+	}
+}
+
+// splitChild splits nd.children[i], which must be full (2t-1 keys).
+func (nd *btNode) splitChild(i int) {
+	child := nd.children[i]
+	mid := btDegree - 1
+	right := &btNode{
+		keys:  append([]uint64(nil), child.keys[mid+1:]...),
+		items: append([]Item(nil), child.items[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*btNode(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	upKey, upItem := child.keys[mid], child.items[mid]
+	child.keys = child.keys[:mid]
+	child.items = child.items[:mid]
+
+	nd.keys = append(nd.keys, 0)
+	copy(nd.keys[i+1:], nd.keys[i:])
+	nd.keys[i] = upKey
+	nd.items = append(nd.items, Item{})
+	copy(nd.items[i+1:], nd.items[i:])
+	nd.items[i] = upItem
+	nd.children = append(nd.children, nil)
+	copy(nd.children[i+2:], nd.children[i+1:])
+	nd.children[i+1] = right
+}
+
+// Put implements Engine.
+func (t *BTree) Put(key uint64, item Item) {
+	if len(t.root.keys) == 2*btDegree-1 {
+		newRoot := &btNode{children: []*btNode{t.root}}
+		newRoot.splitChild(0)
+		t.root = newRoot
+	}
+	nd := t.root
+	for {
+		i, ok := nd.search(key)
+		if ok {
+			nd.items[i] = item
+			return
+		}
+		if nd.leaf() {
+			nd.keys = append(nd.keys, 0)
+			copy(nd.keys[i+1:], nd.keys[i:])
+			nd.keys[i] = key
+			nd.items = append(nd.items, Item{})
+			copy(nd.items[i+1:], nd.items[i:])
+			nd.items[i] = item
+			t.n++
+			return
+		}
+		if len(nd.children[i].keys) == 2*btDegree-1 {
+			nd.splitChild(i)
+			if key == nd.keys[i] {
+				nd.items[i] = item
+				return
+			}
+			if key > nd.keys[i] {
+				i++
+			}
+		}
+		nd = nd.children[i]
+	}
+}
+
+// Delete implements Engine. It uses the standard CLRS deletion algorithm
+// ensuring every node visited has at least t keys before descending.
+func (t *BTree) Delete(key uint64) bool {
+	if _, ok := t.Get(key); !ok {
+		return false
+	}
+	t.delete(t.root, key)
+	if len(t.root.keys) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	t.n--
+	return true
+}
+
+func (t *BTree) delete(nd *btNode, key uint64) {
+	i, found := nd.search(key)
+	if found {
+		if nd.leaf() {
+			nd.keys = append(nd.keys[:i], nd.keys[i+1:]...)
+			nd.items = append(nd.items[:i], nd.items[i+1:]...)
+			return
+		}
+		// Internal node: replace with predecessor or successor, or merge.
+		if len(nd.children[i].keys) >= btDegree {
+			pk, pi := maxOf(nd.children[i])
+			nd.keys[i], nd.items[i] = pk, pi
+			t.delete(nd.children[i], pk)
+			return
+		}
+		if len(nd.children[i+1].keys) >= btDegree {
+			sk, si := minOf(nd.children[i+1])
+			nd.keys[i], nd.items[i] = sk, si
+			t.delete(nd.children[i+1], sk)
+			return
+		}
+		nd.mergeChildren(i)
+		t.delete(nd.children[i], key)
+		return
+	}
+	if nd.leaf() {
+		return // not present (shouldn't happen; Get checked)
+	}
+	// Ensure the child we descend into has >= t keys.
+	child := nd.children[i]
+	if len(child.keys) == btDegree-1 {
+		switch {
+		case i > 0 && len(nd.children[i-1].keys) >= btDegree:
+			nd.borrowFromLeft(i)
+		case i < len(nd.children)-1 && len(nd.children[i+1].keys) >= btDegree:
+			nd.borrowFromRight(i)
+		default:
+			if i == len(nd.children)-1 {
+				i--
+			}
+			nd.mergeChildren(i)
+		}
+		child = nd.children[i]
+		// Key may have moved into this node during merge.
+		if j, ok := nd.search(key); ok {
+			_ = j
+			t.delete(nd, key)
+			return
+		}
+		i, _ = nd.search(key)
+		child = nd.children[i]
+	}
+	t.delete(child, key)
+}
+
+func maxOf(nd *btNode) (uint64, Item) {
+	for !nd.leaf() {
+		nd = nd.children[len(nd.children)-1]
+	}
+	last := len(nd.keys) - 1
+	return nd.keys[last], nd.items[last]
+}
+
+func minOf(nd *btNode) (uint64, Item) {
+	for !nd.leaf() {
+		nd = nd.children[0]
+	}
+	return nd.keys[0], nd.items[0]
+}
+
+// borrowFromLeft moves the separator down into child i and the left
+// sibling's last key up.
+func (nd *btNode) borrowFromLeft(i int) {
+	child, left := nd.children[i], nd.children[i-1]
+	child.keys = append([]uint64{nd.keys[i-1]}, child.keys...)
+	child.items = append([]Item{nd.items[i-1]}, child.items...)
+	if !left.leaf() {
+		child.children = append([]*btNode{left.children[len(left.children)-1]}, child.children...)
+		left.children = left.children[:len(left.children)-1]
+	}
+	last := len(left.keys) - 1
+	nd.keys[i-1], nd.items[i-1] = left.keys[last], left.items[last]
+	left.keys = left.keys[:last]
+	left.items = left.items[:last]
+}
+
+// borrowFromRight mirrors borrowFromLeft.
+func (nd *btNode) borrowFromRight(i int) {
+	child, right := nd.children[i], nd.children[i+1]
+	child.keys = append(child.keys, nd.keys[i])
+	child.items = append(child.items, nd.items[i])
+	if !right.leaf() {
+		child.children = append(child.children, right.children[0])
+		right.children = right.children[1:]
+	}
+	nd.keys[i], nd.items[i] = right.keys[0], right.items[0]
+	right.keys = right.keys[1:]
+	right.items = right.items[1:]
+}
+
+// mergeChildren merges child i, the separator, and child i+1.
+func (nd *btNode) mergeChildren(i int) {
+	left, right := nd.children[i], nd.children[i+1]
+	left.keys = append(left.keys, nd.keys[i])
+	left.items = append(left.items, nd.items[i])
+	left.keys = append(left.keys, right.keys...)
+	left.items = append(left.items, right.items...)
+	left.children = append(left.children, right.children...)
+	nd.keys = append(nd.keys[:i], nd.keys[i+1:]...)
+	nd.items = append(nd.items[:i], nd.items[i+1:]...)
+	nd.children = append(nd.children[:i+1], nd.children[i+2:]...)
+}
+
+// Len implements Engine.
+func (t *BTree) Len() int { return t.n }
+
+// Range implements Engine; ascending key order.
+func (t *BTree) Range(fn func(key uint64, item Item) bool) {
+	t.rangeNode(t.root, fn)
+}
+
+func (t *BTree) rangeNode(nd *btNode, fn func(uint64, Item) bool) bool {
+	for i := range nd.keys {
+		if !nd.leaf() {
+			if !t.rangeNode(nd.children[i], fn) {
+				return false
+			}
+		}
+		if !fn(nd.keys[i], nd.items[i]) {
+			return false
+		}
+	}
+	if !nd.leaf() {
+		return t.rangeNode(nd.children[len(nd.children)-1], fn)
+	}
+	return true
+}
+
+// Name implements Engine.
+func (t *BTree) Name() string { return "btree" }
+
+// OpCost implements Engine.
+func (t *BTree) OpCost() float64 { return 1.8 }
+
+// depth returns the tree height; used by invariant tests.
+func (t *BTree) depth() int {
+	d := 1
+	for nd := t.root; !nd.leaf(); nd = nd.children[0] {
+		d++
+	}
+	return d
+}
+
+// checkInvariants walks the tree verifying B-tree structure; it returns a
+// description of the first violation, or "". Exposed for tests.
+func (t *BTree) checkInvariants() string {
+	var walk func(nd *btNode, depth int, min, max uint64, isRoot bool) (int, string)
+	walk = func(nd *btNode, depth int, min, max uint64, isRoot bool) (int, string) {
+		if !isRoot && len(nd.keys) < btDegree-1 {
+			return 0, "underfull node"
+		}
+		if len(nd.keys) > 2*btDegree-1 {
+			return 0, "overfull node"
+		}
+		for i := 1; i < len(nd.keys); i++ {
+			if nd.keys[i-1] >= nd.keys[i] {
+				return 0, "keys out of order"
+			}
+		}
+		for _, k := range nd.keys {
+			if k < min || k > max {
+				return 0, "key out of subtree range"
+			}
+		}
+		if nd.leaf() {
+			return depth, ""
+		}
+		if len(nd.children) != len(nd.keys)+1 {
+			return 0, "child count mismatch"
+		}
+		leafDepth := -1
+		lo := min
+		for i, c := range nd.children {
+			hi := max
+			if i < len(nd.keys) {
+				hi = nd.keys[i] - 1
+			}
+			d, msg := walk(c, depth+1, lo, hi, false)
+			if msg != "" {
+				return 0, msg
+			}
+			if leafDepth == -1 {
+				leafDepth = d
+			} else if d != leafDepth {
+				return 0, "leaves at different depths"
+			}
+			if i < len(nd.keys) {
+				lo = nd.keys[i] + 1
+			}
+		}
+		return leafDepth, ""
+	}
+	_, msg := walk(t.root, 1, 0, ^uint64(0), true)
+	return msg
+}

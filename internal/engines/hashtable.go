@@ -1,0 +1,141 @@
+package engines
+
+// HashTable is an open-addressing hash table with linear probing and
+// tombstone deletion. It is the cheapest engine per operation and the
+// baseline for OpCost.
+type HashTable struct {
+	slots  []htSlot
+	mask   uint64
+	n      int // live entries
+	dead   int // tombstones
+	maxLen int
+}
+
+type htSlot struct {
+	key   uint64
+	item  Item
+	state uint8 // 0 empty, 1 full, 2 tombstone
+}
+
+const (
+	htEmpty uint8 = iota
+	htFull
+	htTomb
+)
+
+// NewHashTable returns an empty table.
+func NewHashTable() *HashTable {
+	const initial = 64
+	return &HashTable{slots: make([]htSlot, initial), mask: initial - 1}
+}
+
+// mix is a 64-bit finalizer (from splitmix64) giving good slot dispersion.
+func mix(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+func (h *HashTable) probe(key uint64) (int, bool) {
+	i := mix(key) & h.mask
+	firstTomb := -1
+	for {
+		s := &h.slots[i]
+		switch s.state {
+		case htEmpty:
+			if firstTomb >= 0 {
+				return firstTomb, false
+			}
+			return int(i), false
+		case htFull:
+			if s.key == key {
+				return int(i), true
+			}
+		case htTomb:
+			if firstTomb < 0 {
+				firstTomb = int(i)
+			}
+		}
+		i = (i + 1) & h.mask
+	}
+}
+
+func (h *HashTable) grow() {
+	old := h.slots
+	size := uint64(len(old)) * 2
+	h.slots = make([]htSlot, size)
+	h.mask = size - 1
+	h.n = 0
+	h.dead = 0
+	for i := range old {
+		if old[i].state == htFull {
+			h.Put(old[i].key, old[i].item)
+		}
+	}
+}
+
+// Get implements Engine.
+func (h *HashTable) Get(key uint64) (Item, bool) {
+	idx, ok := h.probe(key)
+	if !ok {
+		return Item{}, false
+	}
+	return h.slots[idx].item, true
+}
+
+// Put implements Engine.
+func (h *HashTable) Put(key uint64, item Item) {
+	if (h.n+h.dead+1)*4 >= len(h.slots)*3 { // load factor 0.75 incl tombstones
+		h.grow()
+	}
+	idx, ok := h.probe(key)
+	s := &h.slots[idx]
+	if !ok {
+		if s.state == htTomb {
+			h.dead--
+		}
+		h.n++
+		if h.n > h.maxLen {
+			h.maxLen = h.n
+		}
+	}
+	s.key = key
+	s.item = item
+	s.state = htFull
+}
+
+// Delete implements Engine.
+func (h *HashTable) Delete(key uint64) bool {
+	idx, ok := h.probe(key)
+	if !ok {
+		return false
+	}
+	h.slots[idx].state = htTomb
+	h.slots[idx].item = Item{}
+	h.n--
+	h.dead++
+	return true
+}
+
+// Len implements Engine.
+func (h *HashTable) Len() int { return h.n }
+
+// Range implements Engine. Iteration order is unspecified.
+func (h *HashTable) Range(fn func(key uint64, item Item) bool) {
+	for i := range h.slots {
+		if h.slots[i].state == htFull {
+			if !fn(h.slots[i].key, h.slots[i].item) {
+				return
+			}
+		}
+	}
+}
+
+// Name implements Engine.
+func (h *HashTable) Name() string { return "hashtable" }
+
+// OpCost implements Engine.
+func (h *HashTable) OpCost() float64 { return 1.0 }

@@ -1,0 +1,183 @@
+package engines
+
+// Memcache is a memcached-like store: a hash index over slab-allocated
+// entries with per-slab-class accounting and LRU eviction when the memory
+// budget is exceeded. It corresponds to the paper's memcached application.
+type Memcache struct {
+	index    map[uint64]*mcEntry
+	capacity int64 // bytes budget
+	used     int64
+
+	// LRU list, most-recently-used at head.
+	head, tail *mcEntry
+
+	classes   []int64 // slab chunk sizes
+	perClass  []int   // live entries per class
+	evictions uint64
+	hits      uint64
+	misses    uint64
+}
+
+type mcEntry struct {
+	key        uint64
+	item       Item
+	class      int
+	chunk      int64
+	prev, next *mcEntry
+}
+
+// NewMemcache creates a store with the given memory budget in bytes.
+func NewMemcache(capacity int64) *Memcache {
+	if capacity < 1024 {
+		capacity = 1024
+	}
+	m := &Memcache{
+		index:    make(map[uint64]*mcEntry),
+		capacity: capacity,
+	}
+	// Slab classes: 64B growing by 1.25x, memcached-style.
+	for size := int64(64); size < 1<<20; size = size * 5 / 4 {
+		m.classes = append(m.classes, size)
+	}
+	m.perClass = make([]int, len(m.classes))
+	return m
+}
+
+// class picks the smallest slab class fitting n bytes.
+func (m *Memcache) class(n int64) int {
+	for i, s := range m.classes {
+		if n <= s {
+			return i
+		}
+	}
+	return len(m.classes) - 1
+}
+
+func (m *Memcache) lruUnlink(e *mcEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		m.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		m.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (m *Memcache) lruPushFront(e *mcEntry) {
+	e.next = m.head
+	e.prev = nil
+	if m.head != nil {
+		m.head.prev = e
+	}
+	m.head = e
+	if m.tail == nil {
+		m.tail = e
+	}
+}
+
+// Get implements Engine; it refreshes LRU position on hit.
+func (m *Memcache) Get(key uint64) (Item, bool) {
+	e, ok := m.index[key]
+	if !ok {
+		m.misses++
+		return Item{}, false
+	}
+	m.hits++
+	m.lruUnlink(e)
+	m.lruPushFront(e)
+	return e.item, true
+}
+
+// entrySize is the accounted footprint of an entry: chunk + index overhead.
+func entrySize(chunk int64) int64 { return chunk + 56 }
+
+// Put implements Engine; inserting over budget evicts LRU entries.
+func (m *Memcache) Put(key uint64, item Item) {
+	need := int64(len(item.Value)) + 24 // value + key/version header
+	ci := m.class(need)
+	chunk := m.classes[ci]
+
+	if e, ok := m.index[key]; ok {
+		m.used -= entrySize(e.chunk)
+		m.perClass[e.class]--
+		e.item = item
+		e.class = ci
+		e.chunk = chunk
+		m.used += entrySize(chunk)
+		m.perClass[ci]++
+		m.lruUnlink(e)
+		m.lruPushFront(e)
+		m.evictToFit()
+		return
+	}
+	e := &mcEntry{key: key, item: item, class: ci, chunk: chunk}
+	m.index[key] = e
+	m.used += entrySize(chunk)
+	m.perClass[ci]++
+	m.lruPushFront(e)
+	m.evictToFit()
+}
+
+// evictToFit removes LRU entries until under budget.
+func (m *Memcache) evictToFit() {
+	for m.used > m.capacity && m.tail != nil {
+		victim := m.tail
+		m.removeEntry(victim)
+		m.evictions++
+	}
+}
+
+func (m *Memcache) removeEntry(e *mcEntry) {
+	m.lruUnlink(e)
+	delete(m.index, e.key)
+	m.used -= entrySize(e.chunk)
+	m.perClass[e.class]--
+}
+
+// Delete implements Engine.
+func (m *Memcache) Delete(key uint64) bool {
+	e, ok := m.index[key]
+	if !ok {
+		return false
+	}
+	m.removeEntry(e)
+	return true
+}
+
+// Len implements Engine.
+func (m *Memcache) Len() int { return len(m.index) }
+
+// Range implements Engine. Iterates in LRU order (most recent first); order
+// is unspecified by the interface.
+func (m *Memcache) Range(fn func(key uint64, item Item) bool) {
+	for e := m.head; e != nil; e = e.next {
+		if !fn(e.key, e.item) {
+			return
+		}
+	}
+}
+
+// Name implements Engine.
+func (m *Memcache) Name() string { return "memcache" }
+
+// OpCost implements Engine.
+func (m *Memcache) OpCost() float64 { return 1.2 }
+
+// Evictions returns the number of LRU evictions performed.
+func (m *Memcache) Evictions() uint64 { return m.evictions }
+
+// HitRate returns the fraction of Gets that hit, or 0 before any Get.
+func (m *Memcache) HitRate() float64 {
+	total := m.hits + m.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.hits) / float64(total)
+}
+
+// UsedBytes returns the accounted memory footprint.
+func (m *Memcache) UsedBytes() int64 { return m.used }

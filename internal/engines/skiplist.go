@@ -1,0 +1,137 @@
+package engines
+
+// SkipList is an ordered map implemented as a classic skip list with
+// geometrically distributed node heights. It plays the role of the paper's
+// "Map" application: ordered iteration at moderate per-op cost.
+type SkipList struct {
+	head   *slNode
+	level  int
+	n      int
+	rstate uint64 // deterministic height RNG
+}
+
+const slMaxLevel = 24
+
+type slNode struct {
+	key  uint64
+	item Item
+	next []*slNode
+}
+
+// NewSkipList returns an empty ordered map.
+func NewSkipList() *SkipList {
+	return &SkipList{
+		head:   &slNode{next: make([]*slNode, slMaxLevel)},
+		level:  1,
+		rstate: 0,
+	}
+}
+
+func (s *SkipList) rand() uint64 {
+	// xorshift64; seeded from a fixed constant so runs are reproducible.
+	if s.rstate == 0 {
+		s.rstate = 0x9e3779b97f4a7c15
+	}
+	x := s.rstate
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rstate = x
+	return x
+}
+
+func (s *SkipList) randomLevel() int {
+	lvl := 1
+	for lvl < slMaxLevel && s.rand()&3 == 0 { // p = 1/4
+		lvl++
+	}
+	return lvl
+}
+
+// findPredecessors fills update with the last node before key at each level.
+func (s *SkipList) findPredecessors(key uint64, update *[slMaxLevel]*slNode) *slNode {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	return x.next[0]
+}
+
+// Get implements Engine.
+func (s *SkipList) Get(key uint64) (Item, bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+	}
+	x = x.next[0]
+	if x != nil && x.key == key {
+		return x.item, true
+	}
+	return Item{}, false
+}
+
+// Put implements Engine.
+func (s *SkipList) Put(key uint64, item Item) {
+	var update [slMaxLevel]*slNode
+	x := s.findPredecessors(key, &update)
+	if x != nil && x.key == key {
+		x.item = item
+		return
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			update[i] = s.head
+		}
+		s.level = lvl
+	}
+	node := &slNode{key: key, item: item, next: make([]*slNode, lvl)}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = update[i].next[i]
+		update[i].next[i] = node
+	}
+	s.n++
+}
+
+// Delete implements Engine.
+func (s *SkipList) Delete(key uint64) bool {
+	var update [slMaxLevel]*slNode
+	x := s.findPredecessors(key, &update)
+	if x == nil || x.key != key {
+		return false
+	}
+	for i := 0; i < s.level; i++ {
+		if update[i].next[i] != x {
+			break
+		}
+		update[i].next[i] = x.next[i]
+	}
+	for s.level > 1 && s.head.next[s.level-1] == nil {
+		s.level--
+	}
+	s.n--
+	return true
+}
+
+// Len implements Engine.
+func (s *SkipList) Len() int { return s.n }
+
+// Range implements Engine; iterates in ascending key order.
+func (s *SkipList) Range(fn func(key uint64, item Item) bool) {
+	for x := s.head.next[0]; x != nil; x = x.next[0] {
+		if !fn(x.key, x.item) {
+			return
+		}
+	}
+}
+
+// Name implements Engine.
+func (s *SkipList) Name() string { return "map" }
+
+// OpCost implements Engine.
+func (s *SkipList) OpCost() float64 { return 1.6 }

@@ -1,0 +1,191 @@
+package engines
+
+// WALStore is a log-structured store: every Put appends a record to the
+// active segment and updates an index; deletes append tombstones; a
+// compactor rewrites live records once the garbage ratio passes a
+// threshold. This is how a real NVM-resident image would be maintained
+// (append-only writes are NVM-friendly), and it gives the repository a
+// write-optimized engine to contrast with the read-optimized trees.
+type WALStore struct {
+	segments    [][]walRecord
+	active      []walRecord
+	index       map[uint64]walPos
+	live        int
+	dead        int
+	segLimit    int
+	compactions uint64
+	appends     uint64
+}
+
+type walRecord struct {
+	key  uint64
+	item Item
+	dead bool // tombstone
+}
+
+type walPos struct {
+	seg int // -1 = active segment
+	off int
+}
+
+// NewWALStore returns an empty store with the default segment size.
+func NewWALStore() *WALStore {
+	return &WALStore{
+		index:    make(map[uint64]walPos),
+		segLimit: 4096,
+	}
+}
+
+// Get implements Engine.
+func (w *WALStore) Get(key uint64) (Item, bool) {
+	pos, ok := w.index[key]
+	if !ok {
+		return Item{}, false
+	}
+	rec := w.record(pos)
+	if rec.dead {
+		return Item{}, false
+	}
+	return rec.item, true
+}
+
+func (w *WALStore) record(pos walPos) walRecord {
+	if pos.seg == -1 {
+		return w.active[pos.off]
+	}
+	return w.segments[pos.seg][pos.off]
+}
+
+// Put implements Engine.
+func (w *WALStore) Put(key uint64, item Item) {
+	w.appends++
+	if old, ok := w.index[key]; ok {
+		if !w.record(old).dead {
+			w.dead++
+			w.live--
+		}
+	}
+	w.active = append(w.active, walRecord{key: key, item: item})
+	w.index[key] = walPos{seg: -1, off: len(w.active) - 1}
+	w.live++
+	w.roll()
+}
+
+// Delete implements Engine.
+func (w *WALStore) Delete(key uint64) bool {
+	pos, ok := w.index[key]
+	if !ok || w.record(pos).dead {
+		return false
+	}
+	w.appends++
+	w.dead += 2 // the old record and the tombstone itself are garbage
+	w.live--
+	w.active = append(w.active, walRecord{key: key, dead: true})
+	w.index[key] = walPos{seg: -1, off: len(w.active) - 1}
+	w.roll()
+	return true
+}
+
+// roll seals the active segment when full and compacts when more than half
+// the log is garbage.
+func (w *WALStore) roll() {
+	if len(w.active) < w.segLimit {
+		return
+	}
+	w.seal()
+	total := w.live + w.dead
+	if total > w.segLimit && w.dead*2 > total {
+		w.compact()
+	}
+}
+
+// seal moves the active segment onto the sealed list, fixing up the index.
+func (w *WALStore) seal() {
+	seg := len(w.segments)
+	w.segments = append(w.segments, w.active)
+	for off, rec := range w.active {
+		if p := w.index[rec.key]; p.seg == -1 && p.off == off {
+			w.index[rec.key] = walPos{seg: seg, off: off}
+		}
+	}
+	w.active = nil
+}
+
+// compact rewrites live records into a fresh log in append order (which
+// keeps iteration deterministic), dropping all garbage.
+func (w *WALStore) compact() {
+	w.compactions++
+	var fresh []walRecord
+	collect := func(seg int, recs []walRecord) {
+		for off, rec := range recs {
+			if rec.dead {
+				continue
+			}
+			if p := w.index[rec.key]; p.seg == seg && p.off == off {
+				fresh = append(fresh, rec)
+			}
+		}
+	}
+	for i, seg := range w.segments {
+		collect(i, seg)
+	}
+	collect(-1, w.active)
+
+	w.segments, w.active = nil, nil
+	w.index = make(map[uint64]walPos, len(fresh))
+	w.live, w.dead = 0, 0
+	for _, rec := range fresh {
+		w.active = append(w.active, rec)
+		w.index[rec.key] = walPos{seg: -1, off: len(w.active) - 1}
+		w.live++
+		if len(w.active) >= w.segLimit {
+			w.seal()
+		}
+	}
+}
+
+// Len implements Engine.
+func (w *WALStore) Len() int { return w.live }
+
+// Range implements Engine: iterates live records in append order (sealed
+// segments first, then the active one), which is deterministic.
+func (w *WALStore) Range(fn func(key uint64, item Item) bool) {
+	visit := func(seg int, recs []walRecord) bool {
+		for off, rec := range recs {
+			if rec.dead {
+				continue
+			}
+			if p := w.index[rec.key]; p.seg != seg || p.off != off {
+				continue // superseded copy
+			}
+			if !fn(rec.key, rec.item) {
+				return false
+			}
+		}
+		return true
+	}
+	for i, seg := range w.segments {
+		if !visit(i, seg) {
+			return
+		}
+	}
+	visit(-1, w.active)
+}
+
+// Name implements Engine.
+func (w *WALStore) Name() string { return "walstore" }
+
+// OpCost implements Engine.
+func (w *WALStore) OpCost() float64 { return 1.1 }
+
+// Compactions returns how many compactions have run.
+func (w *WALStore) Compactions() uint64 { return w.compactions }
+
+// GarbageRatio returns the fraction of log records that are garbage.
+func (w *WALStore) GarbageRatio() float64 {
+	total := w.live + w.dead
+	if total == 0 {
+		return 0
+	}
+	return float64(w.dead) / float64(total)
+}

@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// WriteCSV emits Figure 6 as tidy rows: one line per (model, metric) with
+// raw and normalized values — ready for any plotting tool.
+func (f *Fig6Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"consistency", "persistency", "metric", "raw", "normalized"}); err != nil {
+		return err
+	}
+	for _, c := range core.Consistencies() {
+		for _, p := range core.Persistencies() {
+			m := core.Model{C: c, P: p}
+			r, ok := f.Cells[m]
+			if !ok {
+				continue
+			}
+			for metric := Fig6Throughput; metric <= Fig6P95Write; metric++ {
+				if err := cw.Write([]string{
+					c.String(), p.String(), metric.String(),
+					strconv.FormatFloat(fig6Metric(r, metric), 'g', -1, 64),
+					strconv.FormatFloat(f.Normalized(m, metric), 'g', -1, 64),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits a sensitivity sweep as tidy rows: one line per
+// (point, model) with throughput and its normalization.
+func (s *SweepResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"point", "consistency", "persistency", "throughput_ops", "normalized"}); err != nil {
+		return err
+	}
+	for i, label := range s.Labels {
+		for m, r := range s.Points[i] {
+			if err := cw.Write([]string{
+				label, m.C.String(), m.P.String(),
+				strconv.FormatFloat(r.Throughput(), 'g', -1, 64),
+				strconv.FormatFloat(s.Normalized(i, m), 'g', -1, 64),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the durability audit as tidy rows.
+func (d *DurabilityResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"consistency", "persistency", "acked", "lost", "lost_rate", "recovered_keys", "monotonic", "non_stale"}); err != nil {
+		return err
+	}
+	for _, r := range d.Rows {
+		if err := cw.Write([]string{
+			r.Model.C.String(), r.Model.P.String(),
+			strconv.Itoa(r.AckedWrites), strconv.Itoa(r.LostAcked),
+			strconv.FormatFloat(r.LostRate, 'g', -1, 64),
+			strconv.Itoa(r.Recovered),
+			strconv.FormatBool(r.Monotonic), strconv.FormatBool(r.NonStale),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunNamedCSV runs a CSV-capable experiment and writes tidy rows to w.
+// Supported: fig6, fig7, fig8, fig9, durability.
+func RunNamedCSV(w io.Writer, name string, o Options) error {
+	switch name {
+	case "fig6":
+		f, err := Figure6(o)
+		if err != nil {
+			return err
+		}
+		return f.WriteCSV(w)
+	case "fig7":
+		f, err := Figure7(o)
+		if err != nil {
+			return err
+		}
+		return f.WriteCSV(w)
+	case "fig8":
+		f, err := Figure8(o)
+		if err != nil {
+			return err
+		}
+		return f.WriteCSV(w)
+	case "fig9":
+		f, err := Figure9(o)
+		if err != nil {
+			return err
+		}
+		return f.WriteCSV(w)
+	case "durability":
+		d, err := DurabilityAudit(o)
+		if err != nil {
+			return err
+		}
+		return d.WriteCSV(w)
+	default:
+		return fmt.Errorf("experiment %q has no CSV form (use fig6/fig7/fig8/fig9/durability)", name)
+	}
+}

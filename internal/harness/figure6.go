@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ycsb"
+)
+
+// Fig6Metric identifies one of Figure 6's six plots.
+type Fig6Metric int
+
+// The six plots.
+const (
+	Fig6Throughput Fig6Metric = iota
+	Fig6MeanRead
+	Fig6MeanWrite
+	Fig6MeanAll
+	Fig6P95Read
+	Fig6P95Write
+)
+
+func (m Fig6Metric) String() string {
+	switch m {
+	case Fig6Throughput:
+		return "(a) Throughput"
+	case Fig6MeanRead:
+		return "(b) Mean Read Latency"
+	case Fig6MeanWrite:
+		return "(c) Mean Write Latency"
+	case Fig6MeanAll:
+		return "(d) Mean Latency"
+	case Fig6P95Read:
+		return "(e) 95th Percentile Read Latency"
+	case Fig6P95Write:
+		return "(f) 95th Percentile Write Latency"
+	default:
+		return "?"
+	}
+}
+
+// Fig6Result holds all 25 model runs of the main performance comparison
+// (YCSB workload-A), normalized to <Linearizable, Synchronous>.
+type Fig6Result struct {
+	Cells map[core.Model]*cluster.Result
+	Base  *cluster.Result
+}
+
+// Figure6 runs the 5x5 matrix on YCSB-A.
+func Figure6(o Options) (*Fig6Result, error) {
+	return figureMatrix(o, core.AllModels(), ycsb.WorkloadA)
+}
+
+// figureMatrix runs an arbitrary model list on one workload.
+func figureMatrix(o Options, models []core.Model, w ycsb.Workload) (*Fig6Result, error) {
+	res := &Fig6Result{Cells: make(map[core.Model]*cluster.Result)}
+	for _, m := range models {
+		r, err := o.run(m, w)
+		if err != nil {
+			return nil, fmt.Errorf("model %s: %w", m, err)
+		}
+		res.Cells[m] = r
+	}
+	base, ok := res.Cells[core.Baseline]
+	if !ok {
+		r, err := o.run(core.Baseline, w)
+		if err != nil {
+			return nil, err
+		}
+		base = r
+	}
+	res.Base = base
+	return res, nil
+}
+
+// metric extracts a raw metric value from a run.
+func fig6Metric(r *cluster.Result, m Fig6Metric) float64 {
+	switch m {
+	case Fig6Throughput:
+		return r.Summary.Throughput
+	case Fig6MeanRead:
+		return r.Summary.MeanRead
+	case Fig6MeanWrite:
+		return r.Summary.MeanWrite
+	case Fig6MeanAll:
+		return r.Summary.MeanAll
+	case Fig6P95Read:
+		return float64(r.Summary.P95Read)
+	case Fig6P95Write:
+		return float64(r.Summary.P95Write)
+	default:
+		return 0
+	}
+}
+
+// Normalized returns metric's value for model, normalized to the baseline.
+func (f *Fig6Result) Normalized(m core.Model, metric Fig6Metric) float64 {
+	r, ok := f.Cells[m]
+	if !ok {
+		return 0
+	}
+	return ratio(fig6Metric(r, metric), fig6Metric(f.Base, metric))
+}
+
+// WriteText renders all six plots as grouped-bar tables, one row per
+// consistency model, one column per persistency model — the paper's layout.
+func (f *Fig6Result) WriteText(w io.Writer) {
+	header(w, "Figure 6: Performance of the 25 DDP models (YCSB workload-A)",
+		"All values normalized to <Linearizable, Synchronous>.")
+	for metric := Fig6Throughput; metric <= Fig6P95Write; metric++ {
+		fmt.Fprintf(w, "\n%s\n", metric)
+		fmt.Fprintf(w, "%-14s", "")
+		for _, p := range core.Persistencies() {
+			fmt.Fprintf(w, " %12s", p)
+		}
+		fmt.Fprintln(w)
+		for _, c := range core.Consistencies() {
+			fmt.Fprintf(w, "%-14s", c)
+			for _, p := range core.Persistencies() {
+				fmt.Fprintf(w, " %12.2f", f.Normalized(core.Model{C: c, P: p}, metric))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

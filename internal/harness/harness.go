@@ -1,0 +1,99 @@
+// Package harness regenerates the paper's evaluation: every table and
+// figure has a named experiment that runs the simulator and prints rows in
+// the paper's layout (normalized to <Linearizable, Synchronous> where the
+// paper normalizes).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/params"
+	"repro/internal/ycsb"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	Params    params.Params
+	Engine    string
+	Seed      uint64
+	WarmupNs  int64
+	MeasureNs int64
+
+	// Progress, when non-nil, receives one line per completed cell so
+	// long sweeps are observable (ddpbench points it at stderr).
+	Progress io.Writer
+}
+
+// DefaultOptions returns the paper's evaluation configuration.
+func DefaultOptions() Options {
+	return Options{
+		Params:    params.Default(),
+		Seed:      1,
+		WarmupNs:  1_000_000,
+		MeasureNs: 5_000_000,
+	}
+}
+
+// Quick shrinks an Options for fast smoke runs (tests, examples).
+func (o Options) Quick() Options {
+	o.Params.Servers = 3
+	o.Params.ClientsPerServer = 4
+	o.Params.Keys = 256
+	o.WarmupNs = 200_000
+	o.MeasureNs = 800_000
+	return o
+}
+
+func (o Options) config(m core.Model, w ycsb.Workload) cluster.Config {
+	return cluster.Config{
+		Model:     m,
+		Workload:  w,
+		Engine:    o.Engine,
+		Params:    o.Params,
+		Seed:      o.Seed,
+		WarmupNs:  o.WarmupNs,
+		MeasureNs: o.MeasureNs,
+	}
+}
+
+// run executes one cell.
+func (o Options) run(m core.Model, w ycsb.Workload) (*cluster.Result, error) {
+	res, err := cluster.Run(o.config(m, w))
+	if err == nil && o.Progress != nil {
+		fmt.Fprintf(o.Progress, "  ran %-34s %-12s %8.2f Mops/s (%v wall)\n",
+			m, w.Name, res.Throughput()/1e6, res.WallTime.Round(time.Millisecond))
+	}
+	return res, err
+}
+
+// header prints an experiment banner.
+func header(w io.Writer, title, note string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+	if note != "" {
+		fmt.Fprintf(w, "%s\n", note)
+	}
+}
+
+// ratio guards division by zero.
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// WriteModelReference prints the derived operational semantics of all 25
+// DDP models — a generated reference that always matches the protocol
+// implementation.
+func WriteModelReference(w io.Writer) {
+	header(w, "The 25 DDP models: operational semantics",
+		"Derived from the VP/DP bindings; matches internal/protocol by construction.")
+	for _, m := range core.AllModels() {
+		fmt.Fprintf(w, "\n%s\n", core.Describe(m))
+	}
+}

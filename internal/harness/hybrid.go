@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ycsb"
+)
+
+// HybridRow is one deployment configuration in the hybrid experiment.
+type HybridRow struct {
+	Label      string
+	Result     *cluster.Result
+	Normalized float64
+}
+
+// HybridResult reproduces Section 9's hybrid-deployment discussion:
+// Linearizable within a local cluster with Eventual consistency across the
+// system sits between flat-Linearizable and flat-Eventual.
+type HybridResult struct {
+	Rows []HybridRow
+}
+
+// Hybrid compares a flat Linearizable cluster, a two-group hybrid, and a
+// flat Eventual cluster on a 6-node deployment.
+func Hybrid(o Options) (*HybridResult, error) {
+	o.Params.Servers = 6
+	res := &HybridResult{}
+
+	runRow := func(label string, m core.Model, groups int) error {
+		oo := o
+		oo.Params.Groups = groups
+		r, err := oo.run(m, ycsb.WorkloadA)
+		if err != nil {
+			return err
+		}
+		res.Rows = append(res.Rows, HybridRow{Label: label, Result: r})
+		return nil
+	}
+	if err := runRow("flat <Linearizable, Synchronous>", core.Baseline, 1); err != nil {
+		return nil, err
+	}
+	if err := runRow("hybrid Lin-local/Eventual-global, Synchronous",
+		core.Baseline, 2); err != nil {
+		return nil, err
+	}
+	if err := runRow("flat <Eventual, Synchronous>",
+		core.Model{C: core.Eventual, P: core.Synchronous}, 1); err != nil {
+		return nil, err
+	}
+	base := res.Rows[0].Result.Throughput()
+	for i := range res.Rows {
+		res.Rows[i].Normalized = ratio(res.Rows[i].Result.Throughput(), base)
+	}
+	return res, nil
+}
+
+// WriteText renders the comparison.
+func (h *HybridResult) WriteText(w io.Writer) {
+	header(w, "Hybrid consistency (Section 9): strong locally, eventual globally",
+		"6 servers; the hybrid splits them into two 3-node Linearizable groups.")
+	fmt.Fprintf(w, "%-48s %12s %10s %10s\n", "Deployment", "Mops/s", "norm", "rd-ns")
+	for _, r := range h.Rows {
+		fmt.Fprintf(w, "%-48s %12.2f %10.2f %10.0f\n",
+			r.Label, r.Result.Throughput()/1e6, r.Normalized, r.Result.Summary.MeanRead)
+	}
+}

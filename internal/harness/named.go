@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+)
+
+// RunNamed executes the experiment with the given name, writing its text
+// rendering to w. "all" runs every experiment in paper order.
+func RunNamed(w io.Writer, name string, o Options) error {
+	switch name {
+	case "table1":
+		t, err := Table1(o)
+		if err != nil {
+			return err
+		}
+		t.WriteText(w)
+	case "table4":
+		t, err := Table4(o)
+		if err != nil {
+			return err
+		}
+		t.WriteText(w)
+	case "table5":
+		WriteTable5(w, o.Params)
+	case "fig6":
+		f, err := Figure6(o)
+		if err != nil {
+			return err
+		}
+		f.WriteText(w)
+	case "fig7":
+		f, err := Figure7(o)
+		if err != nil {
+			return err
+		}
+		f.WriteText(w)
+	case "fig8":
+		f, err := Figure8(o)
+		if err != nil {
+			return err
+		}
+		f.WriteText(w)
+	case "fig9":
+		f, err := Figure9(o)
+		if err != nil {
+			return err
+		}
+		f.WriteText(w)
+	case "stats":
+		s, err := PaperStats(o)
+		if err != nil {
+			return err
+		}
+		s.WriteText(w)
+	case "durability":
+		d, err := DurabilityAudit(o)
+		if err != nil {
+			return err
+		}
+		d.WriteText(w)
+	case "ablation":
+		a, err := Ablations(o)
+		if err != nil {
+			return err
+		}
+		a.WriteText(w)
+	case "recovery":
+		rec, err := RecoveryTimes(o)
+		if err != nil {
+			return err
+		}
+		rec.WriteText(w)
+	case "timelines":
+		tl, err := Timelines(o)
+		if err != nil {
+			return err
+		}
+		tl.WriteText(w)
+	case "hybrid":
+		h, err := Hybrid(o)
+		if err != nil {
+			return err
+		}
+		h.WriteText(w)
+	case "checker":
+		ch, err := Checker(o)
+		if err != nil {
+			return err
+		}
+		ch.WriteText(w)
+	case "models":
+		WriteModelReference(w)
+	case "all":
+		for _, e := range []string{"table1", "table5", "fig6", "fig7", "fig8", "fig9", "stats", "table4", "durability", "ablation", "recovery", "timelines", "hybrid", "checker", "models"} {
+			if err := RunNamed(w, e, o); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

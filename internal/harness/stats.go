@@ -1,0 +1,178 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/params"
+	"repro/internal/recovery"
+	"repro/internal/ycsb"
+)
+
+// workloadA returns the default workload used across experiments.
+func (o Options) workloadA() ycsb.Workload { return ycsb.WorkloadA }
+
+// PaperStatsResult reproduces the scattered quantitative claims of
+// Section 8.1.2.
+type PaperStatsResult struct {
+	// <Eventual, Eventual> vs <Linearizable, Synchronous> throughput
+	// (paper: 3.3x).
+	EvEvSpeedup float64
+
+	// Fraction of reads conflicting with a yet-to-persist write under
+	// <Read-Enforced, Read-Enforced> (paper: >30% with 100 clients).
+	REREReadConflictRate float64
+
+	// Causal write-buffering: mean buffered updates under Synchronous vs
+	// Eventual persistency (paper: 1-2 orders of magnitude apart).
+	CausalSyncBufferMean     float64
+	CausalEventualBufferMean float64
+	CausalSyncBufferPeak     int
+	CausalEventualBufferPeak int
+
+	// Transaction conflict fraction under <Transactional, Synchronous>
+	// (paper: ~30% of transactions conflict at 100 clients).
+	XactConflictRate float64
+}
+
+// BufferRatio returns the Synchronous/Eventual buffering ratio.
+func (s *PaperStatsResult) BufferRatio() float64 {
+	return ratio(float64(s.CausalSyncBufferPeak), float64(maxf(1, s.CausalEventualBufferPeak)))
+}
+
+func maxf(a int, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PaperStats measures Section 8.1.2's headline numbers.
+func PaperStats(o Options) (*PaperStatsResult, error) {
+	res := &PaperStatsResult{}
+
+	base, err := o.run(core.Baseline, ycsb.WorkloadA)
+	if err != nil {
+		return nil, err
+	}
+	evev, err := o.run(core.Model{C: core.Eventual, P: core.EventualP}, ycsb.WorkloadA)
+	if err != nil {
+		return nil, err
+	}
+	res.EvEvSpeedup = ratio(evev.Throughput(), base.Throughput())
+
+	rere, err := o.run(core.Model{C: core.ReadEnforcedC, P: core.ReadEnforcedP}, ycsb.WorkloadA)
+	if err != nil {
+		return nil, err
+	}
+	res.REREReadConflictRate = rere.Protocol.ReadConflictRate()
+
+	csync, err := o.run(core.Model{C: core.Causal, P: core.Synchronous}, ycsb.WorkloadA)
+	if err != nil {
+		return nil, err
+	}
+	cev, err := o.run(core.Model{C: core.Causal, P: core.EventualP}, ycsb.WorkloadA)
+	if err != nil {
+		return nil, err
+	}
+	res.CausalSyncBufferMean = csync.Protocol.MeanBuffered()
+	res.CausalEventualBufferMean = cev.Protocol.MeanBuffered()
+	res.CausalSyncBufferPeak = csync.Protocol.BufferPeak
+	res.CausalEventualBufferPeak = cev.Protocol.BufferPeak
+
+	xact, err := o.run(core.Model{C: core.Transactional, P: core.Synchronous}, ycsb.WorkloadA)
+	if err != nil {
+		return nil, err
+	}
+	res.XactConflictRate = xact.Protocol.TxnConflictRate()
+	return res, nil
+}
+
+// WriteText renders the Section 8.1.2 observations.
+func (s *PaperStatsResult) WriteText(w io.Writer) {
+	header(w, "Section 8.1.2: headline statistics", "")
+	fmt.Fprintf(w, "<Eventual, Eventual> vs <Linearizable, Synchronous> throughput: %.2fx (paper: 3.3x)\n", s.EvEvSpeedup)
+	fmt.Fprintf(w, "<Read-Enforced, Read-Enforced> reads conflicting with unpersisted writes: %.1f%% (paper: >30%%)\n",
+		s.REREReadConflictRate*100)
+	fmt.Fprintf(w, "Causal buffering, peak:  Synchronous=%d  Eventual=%d  ratio=%.1fx (paper: 1-2 orders of magnitude)\n",
+		s.CausalSyncBufferPeak, s.CausalEventualBufferPeak, s.BufferRatio())
+	fmt.Fprintf(w, "Causal buffering, mean at insert: Synchronous=%.2f Eventual=%.2f\n",
+		s.CausalSyncBufferMean, s.CausalEventualBufferMean)
+	fmt.Fprintf(w, "<Transactional, Synchronous> conflict rate: %.1f%% (paper: ~30%%)\n", s.XactConflictRate*100)
+}
+
+// WriteTable5 prints the modeled architecture parameters (Table 5).
+func WriteTable5(w io.Writer, p params.Params) {
+	header(w, "Table 5: Architectural parameters", "")
+	fmt.Fprintf(w, "Servers; Clients       : %d servers; %d clients per server\n", p.Servers, p.ClientsPerServer)
+	fmt.Fprintf(w, "Multicore chip         : %d worker cores\n", p.WorkersPerServer)
+	fmt.Fprintf(w, "L1 cache               : %d ns round trip\n", p.L1Latency)
+	fmt.Fprintf(w, "L2 cache               : %d ns round trip\n", p.L2Latency)
+	fmt.Fprintf(w, "LLC cache              : %d ns round trip (DDIO for NIC fills)\n", p.LLCLatency)
+	fmt.Fprintf(w, "Network latency        : %d ns round trip NIC-to-NIC\n", p.NetRoundTrip)
+	fmt.Fprintf(w, "Network bandwidth      : %d Gb/s\n", p.NetBandwidth/1_000_000_000)
+	fmt.Fprintf(w, "Queue pairs            : up to %d\n", p.QueuePairs)
+	fmt.Fprintf(w, "DRAM                   : %d channels x %d banks, %d ns\n", p.DRAMChannels, p.DRAMBanks, p.DRAMLatency)
+	fmt.Fprintf(w, "NVM                    : %d channels x %d banks, %d ns read, %d ns write\n",
+		p.NVMChannels, p.NVMBanks, p.NVMReadLat, p.NVMWriteLat)
+	fmt.Fprintf(w, "Keys; value size       : %d keys; %d B (zipfian theta %.2f)\n", p.Keys, p.ValueSize, p.ZipfTheta)
+	fmt.Fprintf(w, "Transaction; scope size: %d; %d client requests\n", p.XactionSize, p.ScopeSize)
+}
+
+// DurabilityRow is one model's crash outcome.
+type DurabilityRow struct {
+	Model       core.Model
+	AckedWrites int
+	LostAcked   int
+	LostRate    float64
+	Recovered   int
+	Monotonic   bool
+	NonStale    bool
+}
+
+// DurabilityResult audits every model's crash behaviour.
+type DurabilityResult struct {
+	Rows []DurabilityRow
+}
+
+// DurabilityAudit crashes every one of the 25 models mid-run and reports
+// what survived (Section 3's data-loss motivation, measured).
+func DurabilityAudit(o Options) (*DurabilityResult, error) {
+	crashAt := o.WarmupNs + o.MeasureNs/2
+	res := &DurabilityResult{}
+	for _, m := range core.AllModels() {
+		rep, err := recovery.CrashAndRecover(o.config(m, ycsb.WorkloadA), crashAt, recovery.NewestVote)
+		if err != nil {
+			return nil, err
+		}
+		a := rep.Audit
+		rate := 0.0
+		if a.AckedWrites > 0 {
+			rate = float64(a.LostAcked) / float64(a.AckedWrites)
+		}
+		res.Rows = append(res.Rows, DurabilityRow{
+			Model:       m,
+			AckedWrites: a.AckedWrites,
+			LostAcked:   a.LostAcked,
+			LostRate:    rate,
+			Recovered:   rep.Recovered.Keys(),
+			Monotonic:   rep.MonotonicReads(),
+			NonStale:    rep.NonStaleReads(),
+		})
+	}
+	return res, nil
+}
+
+// WriteText renders the audit.
+func (d *DurabilityResult) WriteText(w io.Writer) {
+	header(w, "Durability audit: full-cluster crash mid-run, newest-vote recovery",
+		"LostAcked = client-acknowledged writes not recoverable from any NVM image.")
+	fmt.Fprintf(w, "%-34s %10s %10s %9s %10s %6s %6s\n",
+		"Model", "Acked", "Lost", "LostRate", "RecKeys", "Mono", "NStale")
+	for _, r := range d.Rows {
+		fmt.Fprintf(w, "%-34s %10d %10d %8.2f%% %10d %6s %6s\n",
+			r.Model, r.AckedWrites, r.LostAcked, r.LostRate*100, r.Recovered,
+			yn(r.Monotonic), yn(r.NonStale))
+	}
+}

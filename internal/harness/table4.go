@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/recovery"
+)
+
+// Table4Row pairs the paper's qualitative ratings with this
+// implementation's measured evidence from a crash experiment.
+type Table4Row struct {
+	Traits core.Traits
+
+	// Measured evidence.
+	AckedWrites       int
+	LostAcked         int
+	MeasuredMonotonic bool
+	MeasuredNonStale  bool
+	ThroughputNorm    float64
+}
+
+// Table4Result reproduces the trade-off comparison.
+type Table4Result struct {
+	Rows []Table4Row
+}
+
+// Table4 runs a crash experiment per rated model and compares measured
+// monotonic/non-stale verdicts against the paper's columns.
+func Table4(o Options) (*Table4Result, error) {
+	crashAt := o.WarmupNs + o.MeasureNs/2
+	base, err := o.run(core.Baseline, o.workloadA())
+	if err != nil {
+		return nil, err
+	}
+	res := &Table4Result{}
+	for _, tr := range core.Table4() {
+		rep, err := recovery.CrashAndRecover(o.config(tr.Model, o.workloadA()), crashAt, recovery.NewestVote)
+		if err != nil {
+			return nil, err
+		}
+		perf, err := o.run(tr.Model, o.workloadA())
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table4Row{
+			Traits:            tr,
+			AckedWrites:       rep.Audit.AckedWrites,
+			LostAcked:         rep.Audit.LostAcked,
+			MeasuredMonotonic: rep.MonotonicReads(),
+			MeasuredNonStale:  rep.NonStaleReads(),
+			ThroughputNorm:    ratio(perf.Throughput(), base.Throughput()),
+		})
+	}
+	return res, nil
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// WriteText renders the paper ratings plus the measured columns.
+func (t *Table4Result) WriteText(w io.Writer) {
+	header(w, "Table 4: DDP model trade-offs (paper ratings + measured evidence)",
+		"Measured columns come from a mid-run full-cluster crash with newest-vote recovery.")
+	fmt.Fprintf(w, "%-32s %-6s %-6s %-6s | %-9s %-9s | %-9s %-9s | %-8s %s\n",
+		"Model", "Dur.", "Perf.", "Intu.", "PaperMono", "PaperNSt", "MeasMono", "MeasNSt", "TpNorm", "LostAcked")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-32s %-6s %-6s %-6s | %-9s %-9s | %-9s %-9s | %-8.2f %d/%d\n",
+			r.Traits.Model.String(),
+			r.Traits.Durability.Arrow(), r.Traits.Performance.Arrow(), r.Traits.Intuition.Arrow(),
+			yn(r.Traits.MonotonicReads), yn(r.Traits.NonStaleReads),
+			yn(r.MeasuredMonotonic), yn(r.MeasuredNonStale),
+			r.ThroughputNorm, r.LostAcked, r.AckedWrites)
+	}
+}

@@ -1,0 +1,152 @@
+// Package nvm models a node's non-volatile memory device (and, with DRAM
+// timings, its DRAM) as a set of channels x banks with per-bank occupancy.
+//
+// Each persist or read occupies one bank for a fixed service time; requests
+// to a busy bank queue behind it. This produces the "NVM pressure" effect
+// central to the paper's evaluation (Section 8.1.1): persistency models that
+// allow many outstanding persists build bank queues, which in turn delay the
+// reads (or read-enforced persist barriers) that must wait on them.
+package nvm
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config describes a device's geometry and timing.
+type Config struct {
+	Channels   int
+	Banks      int   // per channel
+	ReadLat    int64 // ns of bank occupancy per read
+	WriteLat   int64 // ns of bank occupancy per write
+	ChannelBus int64 // ns of channel occupancy per transfer (bus serialization)
+}
+
+// NVMConfig returns the paper's NVM geometry for the given latencies.
+func NVMConfig(readLat, writeLat int64, channels, banks int) Config {
+	return Config{
+		Channels:   channels,
+		Banks:      banks,
+		ReadLat:    readLat,
+		WriteLat:   writeLat,
+		ChannelBus: 8, // 64B line at 1 GHz DDR x 64-bit bus ~ 8 ns
+	}
+}
+
+// Device is one memory device instance attached to a node.
+type Device struct {
+	eng    *sim.Engine
+	cfg    Config
+	bank   [][]int64 // next-free time per [channel][bank]
+	chFree []int64   // next-free time per channel bus
+
+	reads     uint64
+	writes    uint64
+	sumWait   int64
+	maxWait   int64
+	busy      int64
+	maxQueued int
+	queued    int
+}
+
+// New creates a device on the given engine. Geometry must be positive.
+func New(eng *sim.Engine, cfg Config) *Device {
+	if cfg.Channels < 1 || cfg.Banks < 1 {
+		panic(fmt.Sprintf("nvm: bad geometry %dx%d", cfg.Channels, cfg.Banks))
+	}
+	d := &Device{eng: eng, cfg: cfg, chFree: make([]int64, cfg.Channels)}
+	d.bank = make([][]int64, cfg.Channels)
+	for i := range d.bank {
+		d.bank[i] = make([]int64, cfg.Banks)
+	}
+	return d
+}
+
+// placement maps an address onto a channel and bank. Addresses are hashed
+// first, modeling physical-address interleaving: adjacent or popular keys
+// should not pile onto one bank deterministically.
+func (d *Device) placement(addr uint64) (int, int) {
+	h := addr
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	ch := int(h % uint64(d.cfg.Channels))
+	bk := int((h / uint64(d.cfg.Channels)) % uint64(d.cfg.Banks))
+	return ch, bk
+}
+
+// access schedules one operation of the given service time against addr's
+// bank and returns the completion time.
+func (d *Device) access(addr uint64, service int64, done func()) int64 {
+	ch, bk := d.placement(addr)
+	now := d.eng.Now()
+	start := d.bank[ch][bk]
+	if d.chFree[ch] > start {
+		start = d.chFree[ch]
+	}
+	if start < now {
+		start = now
+	}
+	wait := start - now
+	d.sumWait += wait
+	if wait > d.maxWait {
+		d.maxWait = wait
+	}
+	end := start + service
+	d.bank[ch][bk] = end
+	d.chFree[ch] = start + d.cfg.ChannelBus
+	d.busy += service
+	d.queued++
+	if d.queued > d.maxQueued {
+		d.maxQueued = d.queued
+	}
+	d.eng.At(end, func() {
+		d.queued--
+		if done != nil {
+			done()
+		}
+	})
+	return end
+}
+
+// Write persists one value identified by addr; done fires when the write is
+// durable. It returns the simulated completion time.
+func (d *Device) Write(addr uint64, done func()) int64 {
+	d.writes++
+	return d.access(addr, d.cfg.WriteLat, done)
+}
+
+// Read fetches one value; done fires at completion.
+func (d *Device) Read(addr uint64, done func()) int64 {
+	d.reads++
+	return d.access(addr, d.cfg.ReadLat, done)
+}
+
+// Writes returns the number of writes issued.
+func (d *Device) Writes() uint64 { return d.writes }
+
+// Reads returns the number of reads issued.
+func (d *Device) Reads() uint64 { return d.reads }
+
+// MeanWait returns the average queueing delay per access in ns — the
+// device-pressure metric reported by the harness.
+func (d *Device) MeanWait() float64 {
+	n := d.reads + d.writes
+	if n == 0 {
+		return 0
+	}
+	return float64(d.sumWait) / float64(n)
+}
+
+// MaxWait returns the worst queueing delay seen.
+func (d *Device) MaxWait() int64 { return d.maxWait }
+
+// BusyTime returns total bank occupancy accumulated.
+func (d *Device) BusyTime() int64 { return d.busy }
+
+// MaxOutstanding returns the high-water mark of in-flight accesses.
+func (d *Device) MaxOutstanding() int { return d.maxQueued }
+
+// Outstanding returns the number of in-flight accesses right now.
+func (d *Device) Outstanding() int { return d.queued }

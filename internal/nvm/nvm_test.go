@@ -1,0 +1,176 @@
+package nvm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func cfg() Config { return NVMConfig(140, 400, 2, 8) }
+
+func TestWriteCompletesAfterServiceTime(t *testing.T) {
+	e := sim.New()
+	d := New(e, cfg())
+	var doneAt int64 = -1
+	e.Schedule(0, func() { d.Write(0, func() { doneAt = e.Now() }) })
+	e.RunAll()
+	if doneAt != 400 {
+		t.Fatalf("write completed at %d, want 400", doneAt)
+	}
+}
+
+func TestReadFasterThanWrite(t *testing.T) {
+	e := sim.New()
+	d := New(e, cfg())
+	var rd, wr int64
+	e.Schedule(0, func() {
+		d.Read(0, func() { rd = e.Now() })
+		d.Write(1, func() { wr = e.Now() })
+	})
+	e.RunAll()
+	if rd != 140 {
+		t.Fatalf("read completed at %d, want 140", rd)
+	}
+	// Addresses hash onto channels/banks; the write may share a channel
+	// (bus cost) or bank (full serialization) with the read, but never more.
+	if wr < 400 || wr > 540 {
+		t.Fatalf("write completed at %d, want within [400, 540]", wr)
+	}
+}
+
+func TestSameBankSerializes(t *testing.T) {
+	e := sim.New()
+	d := New(e, cfg())
+	var times []int64
+	e.Schedule(0, func() {
+		for i := 0; i < 3; i++ {
+			d.Write(0, func() { times = append(times, e.Now()) })
+		}
+	})
+	e.RunAll()
+	want := []int64{400, 800, 1200}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("same-bank writes = %v, want %v", times, want)
+		}
+	}
+	if d.MeanWait() == 0 {
+		t.Fatal("expected queueing wait on same bank")
+	}
+}
+
+func TestDifferentBanksParallel(t *testing.T) {
+	// Addresses hash onto banks, so scan pairs until one lands on distinct
+	// banks: both writes then overlap, paying at most the channel bus.
+	found := false
+	for b := uint64(1); b < 64 && !found; b++ {
+		e := sim.New()
+		d := New(e, cfg())
+		var times []int64
+		bb := b
+		e.Schedule(0, func() {
+			d.Write(0, func() { times = append(times, e.Now()) })
+			d.Write(bb, func() { times = append(times, e.Now()) })
+		})
+		e.RunAll()
+		if times[0] == 400 && times[1] <= 408 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no address pair wrote in parallel; bank-level parallelism broken")
+	}
+}
+
+func TestPressureBuildsQueues(t *testing.T) {
+	e := sim.New()
+	d := New(e, cfg())
+	const n = 200
+	finished := 0
+	e.Schedule(0, func() {
+		for i := 0; i < n; i++ {
+			d.Write(uint64(i), func() { finished++ })
+		}
+	})
+	e.RunAll()
+	if finished != n {
+		t.Fatalf("finished %d of %d", finished, n)
+	}
+	// 16 banks, 200 writes of 400ns: far beyond parallel capacity.
+	if d.MeanWait() < 400 {
+		t.Fatalf("mean wait %.0f too small for heavy pressure", d.MeanWait())
+	}
+	if d.MaxOutstanding() != n {
+		t.Fatalf("max outstanding = %d, want %d", d.MaxOutstanding(), n)
+	}
+	if d.Outstanding() != 0 {
+		t.Fatalf("outstanding after drain = %d, want 0", d.Outstanding())
+	}
+}
+
+func TestCounters(t *testing.T) {
+	e := sim.New()
+	d := New(e, cfg())
+	e.Schedule(0, func() {
+		d.Write(1, nil)
+		d.Write(2, nil)
+		d.Read(3, nil)
+	})
+	e.RunAll()
+	if d.Writes() != 2 || d.Reads() != 1 {
+		t.Fatalf("writes/reads = %d/%d, want 2/1", d.Writes(), d.Reads())
+	}
+	if d.BusyTime() != 2*400+140 {
+		t.Fatalf("busy = %d, want %d", d.BusyTime(), 2*400+140)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero banks")
+		}
+	}()
+	New(sim.New(), Config{Channels: 1, Banks: 0, ReadLat: 1, WriteLat: 1})
+}
+
+// Property: every scheduled access eventually completes exactly once and the
+// completion time is >= issue time + service.
+func TestCompletionProperty(t *testing.T) {
+	f := func(addrs []uint64) bool {
+		if len(addrs) > 64 {
+			addrs = addrs[:64]
+		}
+		e := sim.New()
+		d := New(e, cfg())
+		completions := 0
+		e.Schedule(0, func() {
+			for _, a := range addrs {
+				d.Write(a, func() { completions++ })
+			}
+		})
+		end := e.RunAll()
+		if completions != len(addrs) {
+			return false
+		}
+		if len(addrs) > 0 && end < 400 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDRAMStyleDevice(t *testing.T) {
+	e := sim.New()
+	d := New(e, NVMConfig(100, 100, 4, 8))
+	var doneAt int64
+	e.Schedule(0, func() { d.Write(0, func() { doneAt = e.Now() }) })
+	e.RunAll()
+	if doneAt != 100 {
+		t.Fatalf("DRAM write at %d, want 100", doneAt)
+	}
+}

@@ -1,0 +1,92 @@
+// Package protocol implements the paper's leaderless, broadcast-based DDP
+// replication protocols (Section 5) for all 25 <consistency, persistency>
+// bindings.
+//
+// Terminology follows the paper (and Hermes): the node that receives a
+// client's request for a key is that operation's Coordinator; all other
+// nodes, which replicate every key, are Followers. Strong consistency models
+// (Linearizable, Read-Enforced, Transactional) run an INV/ACK/VAL broadcast;
+// weak models (Causal, Eventual) send UPD messages, with a causal history
+// (cauhist) vector clock attached under Causal consistency. Persistency
+// models insert persist points and, where needed, split ACK/VAL into _c
+// (consistency) and _p (persistency) variants — Table 3's message taxonomy.
+package protocol
+
+import "repro/internal/vclock"
+
+// MsgKind enumerates Table 3's protocol messages, plus the two auxiliary
+// messages (NACK, ABORTX) of the transactional conflict-handling
+// infrastructure the paper describes in Section 5.4.
+type MsgKind int
+
+// Message kinds.
+const (
+	MsgINV     MsgKind = iota // invalidate + new value (strong consistency)
+	MsgACK                    // combined consistency+persistency acknowledgment
+	MsgACKc                   // acknowledges a consistency event
+	MsgACKp                   // acknowledges a persistency event
+	MsgVAL                    // marks termination of an event
+	MsgVALc                   // marks termination of a consistency event
+	MsgVALp                   // marks termination of a persistency event
+	MsgUPD                    // lazy update (+cauhist under Causal)
+	MsgINITX                  // transaction begin
+	MsgENDX                   // transaction end
+	MsgPERSIST                // end of scope s ([PERSIST]s)
+	MsgNACK                   // transactional conflict report to a coordinator
+	MsgABORTX                 // transaction squash notification
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgINV:
+		return "INV"
+	case MsgACK:
+		return "ACK"
+	case MsgACKc:
+		return "ACK_c"
+	case MsgACKp:
+		return "ACK_p"
+	case MsgVAL:
+		return "VAL"
+	case MsgVALc:
+		return "VAL_c"
+	case MsgVALp:
+		return "VAL_p"
+	case MsgUPD:
+		return "UPD"
+	case MsgINITX:
+		return "INITX"
+	case MsgENDX:
+		return "ENDX"
+	case MsgPERSIST:
+		return "PERSIST"
+	case MsgNACK:
+		return "NACK"
+	case MsgABORTX:
+		return "ABORTX"
+	default:
+		return "MSG?"
+	}
+}
+
+// payload is the protocol message body carried over simnet.
+type payload struct {
+	Kind    MsgKind
+	Key     uint64
+	Stamp   Stamp
+	Scope   uint64
+	Txn     uint64
+	Cauhist vclock.VC // non-nil only under Causal consistency
+	Chain   bool      // serially-propagated (SerialPropagation ablation)
+}
+
+// wireSize returns the modeled on-the-wire size of a message.
+func (r *Replica) wireSize(p payload) int {
+	size := r.p.MsgHeaderSize
+	switch p.Kind {
+	case MsgINV, MsgUPD:
+		size += r.p.ValueSize
+	}
+	size += p.Cauhist.WireSize()
+	return size
+}

@@ -1,0 +1,94 @@
+package protocol
+
+// Metrics aggregates per-replica protocol statistics. The cluster sums them
+// across replicas; the harness turns them into the paper's reported numbers
+// (conflict rates, buffering, stalls).
+type Metrics struct {
+	// Operation counts handled at this replica as coordinator.
+	Reads  uint64
+	Writes uint64
+
+	// Reads that had to stall (any reason) and the total stall time in ns.
+	ReadStalls    uint64
+	ReadStallTime int64
+
+	// Reads that arrived while the latest visible version of the key was
+	// not yet persisted — the paper's "read conflicts with a yet-to-persist
+	// write" statistic for Read-Enforced persistency (Section 8.1.2).
+	PersistConflictReads uint64
+
+	// Writes that had to stall at the coordinator before completing
+	// (strict models), and their total stall time.
+	WriteStalls    uint64
+	WriteStallTime int64
+
+	// Causal buffering (Section 8.1.2): out-of-order updates buffered while
+	// waiting for their happens-before history.
+	BufferedUpdates uint64 // total updates that were ever buffered
+	BufferPeak      int    // high-water mark of the buffer
+	BufferSum       uint64 // sum of buffer length sampled at each insert
+
+	// Transactional conflict handling (Section 5.4). A conflicted
+	// transaction stalled on (or was squashed by) another transaction's
+	// lock at least once.
+	TxnStarted    uint64
+	TxnCommitted  uint64
+	TxnSquashed   uint64
+	TxnConflicted uint64
+
+	// Persist operations issued to the NVM device.
+	Persists uint64
+
+	// Scope persist barriers completed.
+	ScopePersists uint64
+}
+
+// Add accumulates other into m.
+func (m *Metrics) Add(other *Metrics) {
+	m.Reads += other.Reads
+	m.Writes += other.Writes
+	m.ReadStalls += other.ReadStalls
+	m.ReadStallTime += other.ReadStallTime
+	m.PersistConflictReads += other.PersistConflictReads
+	m.WriteStalls += other.WriteStalls
+	m.WriteStallTime += other.WriteStallTime
+	m.BufferedUpdates += other.BufferedUpdates
+	if other.BufferPeak > m.BufferPeak {
+		m.BufferPeak = other.BufferPeak
+	}
+	m.BufferSum += other.BufferSum
+	m.TxnStarted += other.TxnStarted
+	m.TxnCommitted += other.TxnCommitted
+	m.TxnSquashed += other.TxnSquashed
+	m.TxnConflicted += other.TxnConflicted
+	m.Persists += other.Persists
+	m.ScopePersists += other.ScopePersists
+}
+
+// TxnConflictRate returns the fraction of finished transactions that hit a
+// conflict (stalled on or were squashed by another transaction).
+func (m *Metrics) TxnConflictRate() float64 {
+	finished := m.TxnCommitted + m.TxnSquashed
+	if finished == 0 {
+		return 0
+	}
+	return float64(m.TxnConflicted) / float64(finished)
+}
+
+// ReadConflictRate returns the fraction of reads that hit an unpersisted
+// latest version.
+func (m *Metrics) ReadConflictRate() float64 {
+	if m.Reads == 0 {
+		return 0
+	}
+	return float64(m.PersistConflictReads) / float64(m.Reads)
+}
+
+// MeanBuffered returns the average buffered-queue length observed at insert
+// time — the paper's causal write-buffering measure.
+func (m *Metrics) MeanBuffered() float64 {
+	if m.BufferedUpdates == 0 {
+		return 0
+	}
+	return float64(m.BufferSum) / float64(m.BufferedUpdates)
+}

@@ -1,0 +1,598 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engines"
+	"repro/internal/memhier"
+	"repro/internal/nvm"
+	"repro/internal/params"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/vclock"
+)
+
+// Deps bundles everything a Replica needs from its node.
+type Deps struct {
+	Eng     *sim.Engine
+	P       params.Params
+	Model   core.Model
+	Net     *simnet.Network
+	NVM     *nvm.Device
+	Mem     *memhier.Hierarchy
+	Workers *sim.Pool
+	Vol     engines.Engine // volatile store image
+	Img     engines.Engine // NVM store image (what survives a crash)
+
+	// Trace, when non-nil, receives a description of every protocol action
+	// at this replica (see internal/trace). Nil disables tracing.
+	Trace func(node int, what string)
+}
+
+// keyState is the per-key protocol state at one replica.
+type keyState struct {
+	visible   Stamp // stamp of the current visible (volatile) version
+	persisted Stamp // stamp of the latest locally persisted version
+
+	// transC holds stamps INVed but not yet validated for consistency;
+	// transP holds stamps not yet validated for persistency (VAL_p).
+	transC map[Stamp]struct{}
+	transP map[Stamp]struct{}
+
+	consWait []func() // reads waiting for consistency validation
+	persWait []func() // reads waiting for local persistence
+
+	lockTxn   uint64 // transaction with an in-flight write to this key
+	committed Stamp  // latest transactionally committed version (Xact only)
+
+	// Write-back coalescing: at most one persist per key is in flight; newer
+	// stamps arriving meanwhile mark the key dirty and ride the follow-up
+	// write-back. Callbacks fire once their stamp is covered.
+	persistInFlight bool
+	dirtyStamp      Stamp
+	persistCbs      []persistCb
+}
+
+// persistCb defers a durability callback onto an in-flight coalesced persist.
+type persistCb struct {
+	st   Stamp
+	done func()
+}
+
+func (ks *keyState) addTransC(st Stamp) {
+	if ks.transC == nil {
+		ks.transC = make(map[Stamp]struct{}, 2)
+	}
+	ks.transC[st] = struct{}{}
+}
+
+func (ks *keyState) addTransP(st Stamp) {
+	if ks.transP == nil {
+		ks.transP = make(map[Stamp]struct{}, 2)
+	}
+	ks.transP[st] = struct{}{}
+}
+
+// pendingWrite tracks a coordinator-side in-flight write.
+type pendingWrite struct {
+	key          uint64
+	stamp        Stamp
+	cAcks        int   // consistency acks still expected
+	pAcks        int   // persistency acks still expected
+	localPersist bool  // local persist finished
+	valSent      bool  // consistency VAL broadcast done
+	broadcastAt  int64 // when INV went out (stall accounting)
+	clientDone   func()
+	early        bool // completion already delivered to the client
+}
+
+// persistItem is a deferred persist (scope or transaction).
+type persistItem struct {
+	key   uint64
+	stamp Stamp
+}
+
+// bufferedUpd is an out-of-order causal update parked at a follower.
+type bufferedUpd struct {
+	key   uint64
+	stamp Stamp
+	scope uint64
+	vc    vclock.VC
+}
+
+// Replica is one node's protocol engine. It acts as coordinator for requests
+// submitted locally and as follower for everything else.
+type Replica struct {
+	id    int
+	eng   *sim.Engine
+	p     params.Params
+	model core.Model
+	net   *simnet.Network
+	work  *sim.Pool
+	mem   *memhier.Hierarchy
+	dev   *nvm.Device
+	vol   engines.Engine
+	img   engines.Engine
+
+	// M collects this replica's protocol metrics.
+	M Metrics
+
+	lamport uint64
+	keys    []keyState
+	pending map[Stamp]*pendingWrite
+
+	// Causal consistency state. waiting indexes the reorder buffer by the
+	// first unsatisfied dependency: waiting[node][count] holds updates that
+	// become eligible when appliedVC[node] reaches count.
+	appliedVC  vclock.VC // per-writer applied counters
+	issued     uint64    // own writes issued (stamps cauhist)
+	waiting    []map[uint64][]bufferedUpd
+	bufCount   int
+	drainQueue []advance
+	draining   bool
+
+	// Transactional state.
+	txns   map[uint64]*txnState
+	txnSeq uint64
+
+	// Scope persistency state.
+	scopePending map[uint64][]persistItem
+	scopeClosed  map[uint64]bool
+	scopeOps     map[uint64]*scopeOp
+
+	sharedVal []byte // shared synthetic value payload (avoids allocation)
+	tracer    func(node int, what string)
+}
+
+// NewReplica builds the protocol engine for node id and registers its
+// network handler.
+func NewReplica(id int, d Deps) *Replica {
+	r := &Replica{
+		id:           id,
+		eng:          d.Eng,
+		p:            d.P,
+		model:        d.Model,
+		net:          d.Net,
+		work:         d.Workers,
+		mem:          d.Mem,
+		dev:          d.NVM,
+		vol:          d.Vol,
+		img:          d.Img,
+		keys:         make([]keyState, d.P.Keys),
+		pending:      make(map[Stamp]*pendingWrite),
+		appliedVC:    vclock.New(d.P.Servers),
+		waiting:      make([]map[uint64][]bufferedUpd, d.P.Servers),
+		txns:         make(map[uint64]*txnState),
+		scopePending: make(map[uint64][]persistItem),
+		scopeClosed:  make(map[uint64]bool),
+		scopeOps:     make(map[uint64]*scopeOp),
+		sharedVal:    make([]byte, d.P.ValueSize),
+		tracer:       d.Trace,
+	}
+	d.Net.Register(id, r.onMessage)
+	return r
+}
+
+// trace emits a protocol event when tracing is enabled.
+func (r *Replica) trace(format string, args ...interface{}) {
+	if r.tracer == nil {
+		return
+	}
+	r.tracer(r.id, fmt.Sprintf(format, args...))
+}
+
+// ID returns the replica's node id.
+func (r *Replica) ID() int { return r.id }
+
+// Model returns the DDP model this replica runs.
+func (r *Replica) Model() core.Model { return r.model }
+
+// VolatileStore exposes the volatile engine image (for recovery tooling).
+func (r *Replica) VolatileStore() engines.Engine { return r.vol }
+
+// PersistedStore exposes the NVM engine image (what survives a crash).
+func (r *Replica) PersistedStore() engines.Engine { return r.img }
+
+// VisibleVersion returns the stamp of key's current visible version.
+func (r *Replica) VisibleVersion(key uint64) Stamp { return r.keys[key].visible }
+
+// PersistedVersion returns the stamp of key's latest persisted version.
+func (r *Replica) PersistedVersion(key uint64) Stamp { return r.keys[key].persisted }
+
+// BufferLen returns the current causal reorder-buffer length.
+func (r *Replica) BufferLen() int { return r.bufCount }
+
+// nextStamp advances the Lamport clock and stamps a new local write.
+func (r *Replica) nextStamp() Stamp {
+	r.lamport++
+	return MakeStamp(r.lamport, r.id)
+}
+
+// observe merges a remote stamp into the Lamport clock.
+func (r *Replica) observe(st Stamp) {
+	if ts := st.TS(); ts > r.lamport {
+		r.lamport = ts
+	}
+}
+
+// followers returns how many other replicas must acknowledge a strong
+// write: everyone in a flat cluster, only local-group peers under hybrid
+// consistency (Section 9).
+func (r *Replica) followers() int {
+	return r.groupSize() - 1
+}
+
+// groupSize returns the number of nodes in this replica's hybrid group.
+func (r *Replica) groupSize() int {
+	if r.p.Groups <= 1 {
+		return r.p.Servers
+	}
+	return r.p.Servers / r.p.Groups
+}
+
+// sameGroup reports whether node shares this replica's hybrid group.
+func (r *Replica) sameGroup(node int) bool {
+	if r.p.Groups <= 1 {
+		return true
+	}
+	g := r.p.Servers / r.p.Groups
+	return node/g == r.id/g
+}
+
+// send transmits one protocol message.
+func (r *Replica) send(to int, p payload) {
+	r.trace("%s -> node %d", p.Kind, to)
+	r.net.Send(simnet.Message{
+		From:    r.id,
+		To:      to,
+		Size:    r.wireSize(p),
+		Kind:    int(p.Kind),
+		Payload: p,
+	})
+}
+
+// propagate delivers a data-carrying message (INV or UPD) to every
+// follower: by broadcast (the paper's design) or, under the
+// SerialPropagation ablation, as a message that sequentially visits the
+// replica nodes.
+func (r *Replica) propagate(p payload) {
+	if !r.p.SerialPropagation || r.groupSize() <= 2 {
+		r.broadcast(p)
+		return
+	}
+	p.Chain = true
+	r.send(r.nextOnRing(), p)
+}
+
+// nextOnRing returns the next node of this replica's strong-consistency
+// domain (its hybrid group, or the whole cluster when flat).
+func (r *Replica) nextOnRing() int {
+	g := r.groupSize()
+	base := (r.id / g) * g
+	return base + (r.id-base+1)%g
+}
+
+// forwardChain passes a serially-propagated message to the next replica on
+// the ring, stopping before it would return to its origin.
+func (r *Replica) forwardChain(p payload) {
+	next := r.nextOnRing()
+	if next == p.Stamp.Node() {
+		return
+	}
+	r.send(next, p)
+}
+
+// broadcast transmits p to every follower in this replica's strong-
+// consistency domain (the whole cluster, or the local group under hybrid
+// consistency).
+func (r *Replica) broadcast(p payload) {
+	if r.p.Groups <= 1 {
+		r.trace("%s -> all", p.Kind)
+		r.net.Broadcast(simnet.Message{
+			From:    r.id,
+			Size:    r.wireSize(p),
+			Kind:    int(p.Kind),
+			Payload: p,
+		}, -1)
+		return
+	}
+	r.trace("%s -> group", p.Kind)
+	for to := 0; to < r.p.Servers; to++ {
+		if to == r.id || !r.sameGroup(to) {
+			continue
+		}
+		r.send(to, p)
+	}
+}
+
+// broadcastRemoteGroups lazily ships an update to every node outside the
+// local group (the eventual tier of a hybrid deployment).
+func (r *Replica) broadcastRemoteGroups(p payload) {
+	for to := 0; to < r.p.Servers; to++ {
+		if r.sameGroup(to) {
+			continue
+		}
+		r.send(to, p)
+	}
+}
+
+// onMessage is the network receive entry point: it charges a worker for the
+// handling cost, then dispatches.
+func (r *Replica) onMessage(m simnet.Message) {
+	p := m.Payload.(payload)
+	service := r.p.MessageHandle
+	if p.Kind == MsgINV || p.Kind == MsgUPD {
+		service += r.mem.DDIOFillLatency()
+	}
+	from := m.From
+	r.work.Acquire(service, func() { r.dispatch(from, p) })
+}
+
+func (r *Replica) dispatch(from int, p payload) {
+	r.trace("recv %s (from %d)", p.Kind, from)
+	if !p.Stamp.IsZero() {
+		r.observe(p.Stamp)
+	}
+	switch p.Kind {
+	case MsgINV:
+		r.onINV(from, p)
+	case MsgACK:
+		r.onACK(from, p)
+	case MsgACKc:
+		r.onACKc(p)
+	case MsgACKp:
+		r.onACKp(p)
+	case MsgVAL, MsgVALc:
+		r.onVAL(p)
+	case MsgVALp:
+		r.onVALp(p)
+	case MsgUPD:
+		r.onUPD(from, p)
+	case MsgINITX:
+		r.onINITX(from, p)
+	case MsgENDX:
+		r.onENDX(from, p)
+	case MsgPERSIST:
+		r.onPERSIST(from, p)
+	case MsgNACK:
+		r.onNACK(p)
+	case MsgABORTX:
+		r.onABORTX(p)
+	default:
+		panic(fmt.Sprintf("protocol: unhandled message kind %v", p.Kind))
+	}
+}
+
+// applyVisible installs (key, st) as the visible version if newer and
+// returns whether it did.
+func (r *Replica) applyVisible(key uint64, st Stamp) bool {
+	ks := &r.keys[key]
+	if st <= ks.visible {
+		return false
+	}
+	ks.visible = st
+	r.vol.Put(key, engines.Item{Value: r.sharedVal, Version: uint64(st)})
+	r.trace("update replica k%d=%v", key, st)
+	return true
+}
+
+// persist makes (key, st) durable; done (optional) runs once a version at
+// least as new as st is in NVM. Persists coalesce per key the way cacheline
+// write-backs do: if a persist covering st is already durable or in flight,
+// no new device write is issued — done just joins the in-flight completion.
+// The NVM image and the persisted stamp advance monotonically.
+func (r *Replica) persist(key uint64, st Stamp, done func()) {
+	ks := &r.keys[key]
+	if r.p.NoPersistCoalescing {
+		// Ablation: one device write per update, no write-back batching.
+		r.M.Persists++
+		r.dev.Write(key, func() {
+			if st > ks.persisted {
+				ks.persisted = st
+				r.img.Put(key, engines.Item{Value: r.sharedVal, Version: uint64(st)})
+			}
+			r.wakePersistWaiters(ks)
+			if done != nil {
+				done()
+			}
+		})
+		return
+	}
+	if st <= ks.persisted {
+		if done != nil {
+			r.eng.Schedule(0, done)
+		}
+		return
+	}
+	if done != nil {
+		ks.persistCbs = append(ks.persistCbs, persistCb{st: st, done: done})
+	}
+	if ks.persistInFlight {
+		if st > ks.dirtyStamp {
+			ks.dirtyStamp = st
+		}
+		return
+	}
+	r.issuePersist(key, st)
+}
+
+// issuePersist puts one device write in flight covering stamp st; at
+// completion it fires covered callbacks and writes back again if the key
+// got dirtier meanwhile.
+func (r *Replica) issuePersist(key uint64, st Stamp) {
+	ks := &r.keys[key]
+	ks.persistInFlight = true
+	ks.dirtyStamp = st
+	r.M.Persists++
+	r.trace("persist k%d=%v ...", key, st)
+	r.dev.Write(key, func() {
+		ks.persistInFlight = false
+		if st > ks.persisted {
+			ks.persisted = st
+			r.img.Put(key, engines.Item{Value: r.sharedVal, Version: uint64(st)})
+		}
+		r.trace("persist k%d=%v done", key, st)
+		// Snapshot-and-clear before firing: a callback may re-enter persist()
+		// for this key and append new entries, which must not be clobbered.
+		if len(ks.persistCbs) > 0 {
+			cbs := ks.persistCbs
+			ks.persistCbs = nil
+			for _, cb := range cbs {
+				if cb.st <= ks.persisted {
+					cb.done()
+				} else {
+					ks.persistCbs = append(ks.persistCbs, cb)
+				}
+			}
+		}
+		r.wakePersistWaiters(ks)
+		if ks.dirtyStamp > ks.persisted && !ks.persistInFlight {
+			r.issuePersist(key, ks.dirtyStamp)
+		}
+	})
+}
+
+// persistEvent persists a non-key protocol event (transaction begin) to NVM.
+func (r *Replica) persistEvent(addr uint64, done func()) {
+	r.M.Persists++
+	r.dev.Write(addr, done)
+}
+
+// wakeConsWaiters resumes reads stalled on consistency validation.
+func (r *Replica) wakeConsWaiters(ks *keyState) {
+	if len(ks.consWait) == 0 {
+		return
+	}
+	waiters := ks.consWait
+	ks.consWait = nil
+	for _, w := range waiters {
+		w()
+	}
+}
+
+// wakePersistWaiters resumes reads stalled on local persistence.
+func (r *Replica) wakePersistWaiters(ks *keyState) {
+	if len(ks.persWait) == 0 {
+		return
+	}
+	waiters := ks.persWait
+	ks.persWait = nil
+	for _, w := range waiters {
+		w()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Client read path
+// ---------------------------------------------------------------------------
+
+// ClientRead submits a read for key at this node. done runs at completion
+// with the stamp of the version returned (zero if the key has no visible or
+// persisted value yet). txn is the surrounding transaction id (0 outside
+// transactions); under Transactional consistency a conflicting read squashes
+// its transaction and done never fires (the transaction's onAbort fires
+// instead).
+func (r *Replica) ClientRead(key uint64, txn uint64, done func(Stamp)) {
+	_ = txn
+	service := int64(float64(r.p.RequestCompute)*r.vol.OpCost()) + r.p.EngineOpExtra
+	// The worker runs the read to completion: if the read stalls, its
+	// worker blocks with it (run-to-completion server threads). Under load,
+	// stalled reads therefore deplete the worker pool — the degradation
+	// that makes client count matter so much in Figure 7. Transactional
+	// reads never squash: they serve the latest committed version
+	// (readAttempt), the snapshot flavor of Section 5.4's conflict actions.
+	r.work.AcquireHold(func(release func()) {
+		r.eng.Schedule(service, func() {
+			r.M.Reads++
+			r.trace("RD k%d", key)
+			ks := &r.keys[key]
+			if ks.persisted < ks.visible {
+				r.M.PersistConflictReads++
+			}
+			r.readAttempt(key, r.eng.Now(), false, func(st Stamp) {
+				release()
+				done(st)
+			})
+		})
+	})
+}
+
+// readAttempt applies the model's read-stall rules, re-arming itself as a
+// waiter until every rule passes, then completes the read.
+func (r *Replica) readAttempt(key uint64, start int64, stalled bool, done func(Stamp)) {
+	ks := &r.keys[key]
+
+	if r.consReadBlocked(ks) {
+		if !stalled {
+			r.M.ReadStalls++
+			r.trace("RD k%d stalls", key)
+		}
+		ks.consWait = append(ks.consWait, func() { r.readAttempt(key, start, true, done) })
+		return
+	}
+	if r.persistReadBlocked(ks) {
+		if !stalled {
+			r.M.ReadStalls++
+			r.trace("RD k%d stalls (persist)", key)
+		}
+		ks.persWait = append(ks.persWait, func() { r.readAttempt(key, start, true, done) })
+		return
+	}
+
+	if stalled {
+		r.M.ReadStallTime += r.eng.Now() - start
+	}
+	// Perform the real engine lookup: Synchronous/Strict persistency under
+	// weak consistency serves the latest *persisted* version (Figure 2 e-h).
+	src := r.vol
+	if r.weakConsistency() && (r.model.P == core.Synchronous || r.model.P == core.Strict) {
+		src = r.img
+	}
+	var ver Stamp
+	if it, ok := src.Get(key); ok {
+		ver = Stamp(it.Version)
+	}
+	if r.model.C == core.Transactional {
+		// Operations may only see the effects of transactions that have
+		// completed (Section 2.1): serve the latest committed version.
+		ver = ks.committed
+	}
+	r.eng.Schedule(r.mem.ReadLatency(), func() {
+		r.trace("RD k%d returns %v", key, ver)
+		done(ver)
+	})
+}
+
+// weakConsistency reports whether the consistency model is Causal or
+// Eventual (no INV/ACK/VAL machinery).
+func (r *Replica) weakConsistency() bool {
+	return !core.UsesInvAckVal(r.model.C)
+}
+
+// consReadBlocked implements the consistency-side read stalls:
+// Linearizable and Read-Enforced consistency block reads while any write to
+// the key is not yet validated; under Read-Enforced persistency validation
+// additionally requires VAL_p (Figure 3).
+func (r *Replica) consReadBlocked(ks *keyState) bool {
+	switch r.model.C {
+	case core.Linearizable, core.ReadEnforcedC:
+		if len(ks.transC) > 0 {
+			return true
+		}
+		if r.model.P == core.ReadEnforcedP && len(ks.transP) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// persistReadBlocked implements the persistency-side read stall: under weak
+// consistency with Read-Enforced persistency, a read waits until the
+// latest visible version is locally persisted (Figure 3 c-d).
+func (r *Replica) persistReadBlocked(ks *keyState) bool {
+	if r.model.P != core.ReadEnforcedP || !r.weakConsistency() {
+		return false
+	}
+	return ks.persisted < ks.visible
+}

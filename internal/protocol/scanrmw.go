@@ -1,0 +1,94 @@
+package protocol
+
+import (
+	"repro/internal/core"
+	"repro/internal/engines"
+)
+
+// ClientScan reads up to maxLen consecutive keys starting at start,
+// returning the number of keys found. Ordered engines serve the scan with a
+// real Range; hash engines degrade to a multi-get over the key range. The
+// model's read-stall rules apply to the start key (a per-key stall check
+// over a whole range would serialize scans on any write activity; real
+// scan-supporting stores take the same snapshot-ish shortcut).
+func (r *Replica) ClientScan(start uint64, maxLen int, done func(count int)) {
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	service := int64(float64(r.p.RequestCompute)*r.vol.OpCost()) + r.p.EngineOpExtra
+	r.work.AcquireHold(func(release func()) {
+		r.eng.Schedule(service, func() {
+			r.M.Reads++
+			r.trace("SCAN k%d+%d", start, maxLen)
+			r.readAttempt(start, r.eng.Now(), false, func(Stamp) {
+				count := r.scanEngine(start, maxLen)
+				// Per-entry traversal cost on top of the first access.
+				extra := int64(count) * 2
+				r.eng.Schedule(extra, func() {
+					release()
+					done(count)
+				})
+			})
+		})
+	})
+}
+
+// scanEngine performs the real data-structure traversal.
+func (r *Replica) scanEngine(start uint64, maxLen int) int {
+	src := r.vol
+	if r.weakConsistency() && (r.model.P == core.Synchronous || r.model.P == core.Strict) {
+		src = r.img
+	}
+	count := 0
+	if engines.Ordered(src.Name()) {
+		src.Range(func(k uint64, _ engines.Item) bool {
+			if k < start {
+				return true
+			}
+			count++
+			return count < maxLen
+		})
+		return count
+	}
+	// Hash engines: multi-get over the dense key range.
+	end := start + uint64(maxLen)
+	if end > uint64(r.p.Keys) {
+		end = uint64(r.p.Keys)
+	}
+	for k := start; k < end; k++ {
+		if _, ok := src.Get(k); ok {
+			count++
+		}
+	}
+	return count
+}
+
+// ClientRMW performs an atomic-at-the-coordinator read-modify-write
+// (YCSB workload F): the read obeys the model's read-stall rules, then the
+// write follows the model's write path. done receives the new version's
+// stamp.
+func (r *Replica) ClientRMW(key uint64, scope, txn uint64, done func(Stamp)) {
+	service := int64(float64(r.p.RequestCompute)*r.vol.OpCost()) + r.p.EngineOpExtra
+	r.work.AcquireHold(func(release func()) {
+		r.eng.Schedule(service, func() {
+			r.M.Reads++
+			r.trace("RMW k%d", key)
+			r.readAttempt(key, r.eng.Now(), false, func(Stamp) {
+				// The modify phase re-uses the write path; the read already
+				// charged the request compute, so the write costs only the
+				// local update.
+				release()
+				r.M.Writes++
+				if r.model.C == core.Transactional && txn != 0 {
+					r.txnWriteAttempt(key, scope, txn, r.eng.Now(), done)
+					return
+				}
+				if r.weakConsistency() {
+					r.weakWrite(key, scope, done)
+					return
+				}
+				r.strongWrite(key, scope, txn, done)
+			})
+		})
+	})
+}

@@ -1,0 +1,90 @@
+package protocol
+
+import "repro/internal/core"
+
+// scopeOp tracks an in-flight scope persist barrier at its coordinator.
+type scopeOp struct {
+	acks  int
+	local bool
+	done  func()
+}
+
+// deferScopePersist queues a write for its scope's persist barrier. Writes
+// arriving after the barrier already ran (possible under weak consistency)
+// persist immediately so durability is never silently skipped.
+func (r *Replica) deferScopePersist(scope uint64, key uint64, st Stamp) {
+	if r.model.P != core.Scope {
+		return
+	}
+	if r.scopeClosed[scope] {
+		r.persist(key, st, nil)
+		return
+	}
+	r.scopePending[scope] = append(r.scopePending[scope], persistItem{key: key, stamp: st})
+}
+
+// ClientPersistScope executes the [PERSIST]s barrier of Figure 5: broadcast
+// PERSIST, persist the local scope writes, collect every follower's ACK_p,
+// broadcast VAL_p, and acknowledge the client.
+func (r *Replica) ClientPersistScope(scope uint64, done func()) {
+	r.work.Acquire(r.p.RequestCompute, func() {
+		so := &scopeOp{acks: r.followers(), done: done}
+		r.scopeOps[scope] = so
+		r.broadcast(payload{Kind: MsgPERSIST, Scope: scope})
+		r.persistScopeLocal(scope, func() {
+			so.local = true
+			r.maybeScopeDone(scope, so)
+		})
+		r.maybeScopeDone(scope, so)
+	})
+}
+
+// persistScopeLocal persists everything this node buffered for the scope and
+// marks the scope closed.
+func (r *Replica) persistScopeLocal(scope uint64, done func()) {
+	items := r.scopePending[scope]
+	delete(r.scopePending, scope)
+	r.scopeClosed[scope] = true
+	r.persistItems(items, func() {
+		r.M.ScopePersists++
+		done()
+	})
+}
+
+// onPERSIST handles the scope barrier at a follower.
+func (r *Replica) onPERSIST(from int, p payload) {
+	r.persistScopeLocal(p.Scope, func() {
+		r.send(from, payload{Kind: MsgACKp, Scope: p.Scope})
+	})
+}
+
+// onScopeAck collects a follower's scope ACK_p at the coordinator.
+func (r *Replica) onScopeAck(scope uint64) {
+	so := r.scopeOps[scope]
+	if so == nil {
+		return
+	}
+	so.acks--
+	r.maybeScopeDone(scope, so)
+}
+
+func (r *Replica) maybeScopeDone(scope uint64, so *scopeOp) {
+	if !so.local || so.acks != 0 || so.done == nil {
+		return
+	}
+	done := so.done
+	so.done = nil
+	delete(r.scopeOps, scope)
+	r.broadcast(payload{Kind: MsgVALp, Scope: scope})
+	done()
+}
+
+// ScopeBacklog returns how many writes are queued for scope barriers at this
+// node (a durability-exposure metric).
+func (r *Replica) ScopeBacklog() int {
+	total := 0
+	for _, items := range r.scopePending {
+		total += len(items)
+	}
+	return total
+}

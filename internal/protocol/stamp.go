@@ -1,0 +1,29 @@
+package protocol
+
+import "fmt"
+
+// Stamp is a Hermes-style logical version: a Lamport timestamp combined with
+// the writing node's id as a tie-breaker, packed so that numeric comparison
+// yields the system-wide total order of versions (last-writer-wins).
+// The zero Stamp means "no version".
+type Stamp uint64
+
+// stampNodeBits is how many low bits hold the node id.
+const stampNodeBits = 8
+
+// MakeStamp packs a Lamport timestamp and node id.
+func MakeStamp(ts uint64, node int) Stamp {
+	return Stamp(ts<<stampNodeBits | uint64(node)&(1<<stampNodeBits-1))
+}
+
+// TS returns the Lamport component.
+func (s Stamp) TS() uint64 { return uint64(s) >> stampNodeBits }
+
+// Node returns the writer node id.
+func (s Stamp) Node() int { return int(uint64(s) & (1<<stampNodeBits - 1)) }
+
+// IsZero reports whether s is the "no version" stamp.
+func (s Stamp) IsZero() bool { return s == 0 }
+
+// String renders ts.node.
+func (s Stamp) String() string { return fmt.Sprintf("%d.%d", s.TS(), s.Node()) }

@@ -1,0 +1,515 @@
+package protocol
+
+import "repro/internal/core"
+
+// ClientWrite submits a write for key at this node. scope tags the write's
+// persistency scope (0 outside Scope persistency); txn its transaction (0
+// outside Transactional consistency). done runs when the write completes
+// under the model's rules, receiving the stamp assigned to the new version;
+// under Transactional consistency a conflicting write squashes its
+// transaction and done never fires.
+func (r *Replica) ClientWrite(key uint64, scope, txn uint64, done func(Stamp)) {
+	service := int64(float64(r.p.RequestCompute)*r.vol.OpCost()) + r.p.EngineOpExtra + r.mem.WriteLatency()
+	r.work.Acquire(service, func() {
+		r.M.Writes++
+		r.trace("WR k%d", key)
+		if r.model.C == core.Transactional && txn != 0 {
+			r.txnWriteAttempt(key, scope, txn, r.eng.Now(), done)
+			return
+		}
+		if r.weakConsistency() {
+			r.weakWrite(key, scope, done)
+		} else {
+			r.strongWrite(key, scope, txn, done)
+		}
+	})
+}
+
+// txnWriteAttempt applies Section 5.4's conflict handling: a transactional
+// write conflicts with another transaction's *in-flight* write to the same
+// key (a write is in flight from its INV broadcast until every replica has
+// acknowledged it). The conflicting requester squashes and the client
+// retries — the squash flavor of the actions Section 5.4 permits.
+func (r *Replica) txnWriteAttempt(key uint64, scope, txn uint64, start int64, done func(Stamp)) {
+	_ = start
+	tx := r.txns[txn]
+	if tx == nil || tx.status != txnActive {
+		return // transaction already aborted; client will retry
+	}
+	ks := &r.keys[key]
+	if ks.lockTxn != 0 && ks.lockTxn != txn {
+		tx.conflicted = true
+		r.squash(tx)
+		return
+	}
+	ks.lockTxn = txn
+	r.strongWrite(key, scope, txn, done)
+}
+
+// strongWrite runs the INV/ACK/VAL broadcast for Linearizable,
+// Read-Enforced, and Transactional consistency (Figures 2-5).
+func (r *Replica) strongWrite(key uint64, scope, txn uint64, done func(Stamp)) {
+	st := r.nextStamp()
+	ks := &r.keys[key]
+
+	pw := &pendingWrite{
+		key:        key,
+		stamp:      st,
+		cAcks:      r.followers(),
+		pAcks:      r.followers(),
+		clientDone: func() { done(st) },
+	}
+	r.pending[st] = pw
+
+	if r.model.C == core.Transactional && txn != 0 {
+		if tx := r.txns[txn]; tx != nil {
+			tx.writeKeys = append(tx.writeKeys, persistItem{key: key, stamp: st})
+		}
+	}
+	// Reads to this key stall until validation under Linearizable /
+	// Read-Enforced consistency.
+	if r.model.C != core.Transactional {
+		ks.addTransC(st)
+		if r.model.P == core.ReadEnforcedP {
+			ks.addTransP(st)
+		}
+	}
+
+	launch := func() {
+		r.applyVisible(key, st)
+		pw.broadcastAt = r.eng.Now()
+		r.propagate(payload{Kind: MsgINV, Key: key, Stamp: st, Scope: scope, Txn: txn})
+		if r.p.Groups > 1 {
+			// Hybrid consistency: the strong protocol covered the local
+			// group; the remaining groups learn eventually via lazy UPDs.
+			upd := payload{Kind: MsgUPD, Key: key, Stamp: st, Scope: scope}
+			r.eng.Schedule(r.p.EventualLag, func() { r.broadcastRemoteGroups(upd) })
+		}
+		r.startLocalDurability(pw, key, st, scope, txn)
+
+		// Early write completion: Read-Enforced and Transactional
+		// consistency acknowledge the client as soon as the local update
+		// and the INV broadcast are out — unless Strict persistency forces
+		// the write to wait for persists everywhere.
+		if r.model.P != core.Strict &&
+			(r.model.C == core.ReadEnforcedC || r.model.C == core.Transactional) {
+			pw.early = true
+			r.completeWrite(pw)
+		}
+		if pw.cAcks == 0 { // single-node cluster: no followers to wait for
+			r.consistencyAcked(pw)
+		}
+	}
+
+	if r.model.P == core.Strict {
+		// Strict persistency: the coordinator persists before the update
+		// even propagates (Section 2.2, Table 2 "when the update takes
+		// place").
+		r.persist(key, st, func() {
+			pw.localPersist = true
+			launch()
+		})
+		return
+	}
+	launch()
+}
+
+// startLocalDurability arranges the coordinator-side persist for a strong
+// write according to the persistency model.
+func (r *Replica) startLocalDurability(pw *pendingWrite, key uint64, st Stamp, scope, txn uint64) {
+	switch r.model.P {
+	case core.Strict:
+		// Already persisted before launch.
+		pw.localPersist = true
+	case core.Synchronous:
+		if r.model.C == core.Transactional && txn != 0 {
+			// Figure 4: persists of transactional writes bunch at ENDX.
+			r.deferTxnPersist(txn, key, st)
+			pw.localPersist = true
+			return
+		}
+		r.persist(key, st, func() {
+			pw.localPersist = true
+			r.maybeFinishStrongWrite(pw)
+		})
+	case core.ReadEnforcedP:
+		r.persist(key, st, func() {
+			pw.localPersist = true
+			r.maybeFinishStrongWrite(pw)
+		})
+	case core.Scope:
+		r.deferScopePersist(scope, key, st)
+		pw.localPersist = true
+	case core.EventualP:
+		r.eng.Schedule(r.p.LazyPersist, func() { r.persist(key, st, nil) })
+		pw.localPersist = true
+	}
+}
+
+// releaseTxnWriteLock ends a transactional write's conflict-detection
+// window once the write has been applied everywhere.
+func (r *Replica) releaseTxnWriteLock(key uint64) {
+	r.keys[key].lockTxn = 0
+}
+
+// onINV handles an invalidation at a follower.
+func (r *Replica) onINV(from int, p payload) {
+	if p.Chain {
+		r.forwardChain(p)
+		from = p.Stamp.Node() // ACKs go to the write's coordinator
+	}
+	ks := &r.keys[p.Key]
+
+	if r.model.C == core.Transactional && p.Txn != 0 {
+		// Cross-node write-write conflict: this node has its own in-flight
+		// transactional write to the key. Wound-wait tie-break: the younger
+		// transaction (larger id) is squashed, so exactly one side dies.
+		if ks.lockTxn != 0 && ks.lockTxn != p.Txn && p.Txn > ks.lockTxn {
+			r.send(from, payload{Kind: MsgNACK, Txn: p.Txn})
+			return
+		}
+		if tx := r.txns[p.Txn]; tx != nil {
+			tx.writeKeys = append(tx.writeKeys, persistItem{key: p.Key, stamp: p.Stamp})
+		}
+	} else if r.model.C != core.Transactional {
+		ks.addTransC(p.Stamp)
+		if r.model.P == core.ReadEnforcedP {
+			ks.addTransP(p.Stamp)
+		}
+	}
+
+	switch r.model.P {
+	case core.Strict:
+		// Persist before the volatile replica becomes visible.
+		r.persist(p.Key, p.Stamp, func() {
+			r.applyVisible(p.Key, p.Stamp)
+			r.send(from, payload{Kind: MsgACK, Stamp: p.Stamp, Txn: p.Txn})
+		})
+	case core.Synchronous:
+		r.applyVisible(p.Key, p.Stamp)
+		if r.model.C == core.Transactional && p.Txn != 0 {
+			// Figure 4: ACK without persisting; durability at ENDX.
+			r.deferTxnPersist(p.Txn, p.Key, p.Stamp)
+			r.send(from, payload{Kind: MsgACK, Stamp: p.Stamp, Txn: p.Txn})
+			return
+		}
+		r.persist(p.Key, p.Stamp, func() {
+			r.send(from, payload{Kind: MsgACK, Stamp: p.Stamp})
+		})
+	case core.ReadEnforcedP:
+		r.applyVisible(p.Key, p.Stamp)
+		r.send(from, payload{Kind: MsgACKc, Stamp: p.Stamp, Txn: p.Txn})
+		r.persist(p.Key, p.Stamp, func() {
+			r.send(from, payload{Kind: MsgACKp, Stamp: p.Stamp})
+		})
+	case core.Scope:
+		r.applyVisible(p.Key, p.Stamp)
+		r.deferScopePersist(p.Scope, p.Key, p.Stamp)
+		r.send(from, payload{Kind: MsgACKc, Stamp: p.Stamp, Txn: p.Txn})
+	case core.EventualP:
+		r.applyVisible(p.Key, p.Stamp)
+		r.send(from, payload{Kind: MsgACKc, Stamp: p.Stamp, Txn: p.Txn})
+		st := p.Stamp
+		key := p.Key
+		r.eng.Schedule(r.p.LazyPersist, func() { r.persist(key, st, nil) })
+	}
+}
+
+// onACK handles a combined consistency+persistency acknowledgment.
+func (r *Replica) onACK(from int, p payload) {
+	if p.Stamp.IsZero() && p.Txn != 0 {
+		r.onTxnEventAck(p.Txn)
+		return
+	}
+	pw := r.pending[p.Stamp]
+	if pw == nil {
+		return
+	}
+	pw.cAcks--
+	pw.pAcks--
+	if pw.cAcks == 0 {
+		r.consistencyAcked(pw)
+	}
+}
+
+// onACKc handles a consistency-only acknowledgment.
+func (r *Replica) onACKc(p payload) {
+	pw := r.pending[p.Stamp]
+	if pw == nil {
+		return
+	}
+	pw.cAcks--
+	if pw.cAcks == 0 {
+		r.consistencyAcked(pw)
+	}
+}
+
+// onACKp handles a persistency-only acknowledgment (per-write or per-scope).
+func (r *Replica) onACKp(p payload) {
+	if p.Stamp.IsZero() && p.Scope != 0 {
+		r.onScopeAck(p.Scope)
+		return
+	}
+	pw := r.pending[p.Stamp]
+	if pw == nil {
+		return
+	}
+	pw.pAcks--
+	if r.weakConsistency() && r.model.P == core.Strict {
+		r.maybeFinishWeakStrictWrite(pw)
+		return
+	}
+	r.maybeFinishStrongWrite(pw)
+}
+
+// consistencyAcked runs when all consistency ACKs for a strong write are in.
+func (r *Replica) consistencyAcked(pw *pendingWrite) {
+	switch r.model.P {
+	case core.Strict:
+		// ACKs imply persistence everywhere; local persist preceded launch.
+		if r.model.C == core.Transactional {
+			r.releaseTxnWriteLock(pw.key)
+		}
+		r.validate(pw, MsgVAL)
+		r.completeWrite(pw)
+		delete(r.pending, pw.stamp)
+	case core.Synchronous:
+		if r.model.C == core.Transactional {
+			// No per-write VAL (Figure 4); the transaction's ENDX/VAL
+			// closes everything. The write is no longer in flight, so its
+			// conflict-detection lock releases.
+			r.releaseTxnWriteLock(pw.key)
+			delete(r.pending, pw.stamp)
+			return
+		}
+		// VAL only after the local persist finishes (Figure 2a).
+		if pw.localPersist {
+			r.validate(pw, MsgVAL)
+			r.completeWrite(pw)
+			delete(r.pending, pw.stamp)
+		} else {
+			pw.valSent = false
+			pw.cAcks = -1 // mark consistency phase done; persist cb finishes
+		}
+	case core.ReadEnforcedP:
+		// Figure 3a: the write completes at the client on all ACK_c; the
+		// VAL_p flows later, once every replica (and the coordinator)
+		// persisted.
+		if r.model.C == core.Transactional {
+			r.releaseTxnWriteLock(pw.key)
+		}
+		r.completeWrite(pw)
+		r.maybeFinishStrongWrite(pw)
+	case core.Scope, core.EventualP:
+		if r.model.C == core.Transactional {
+			r.releaseTxnWriteLock(pw.key)
+			delete(r.pending, pw.stamp)
+			return
+		}
+		r.validate(pw, MsgVALc)
+		r.completeWrite(pw)
+		delete(r.pending, pw.stamp)
+	}
+}
+
+// maybeFinishStrongWrite closes out the deferred paths: Synchronous waiting
+// on the local persist, and Read-Enforced persistency waiting on all ACK_p
+// plus the local persist before broadcasting VAL_p.
+func (r *Replica) maybeFinishStrongWrite(pw *pendingWrite) {
+	switch r.model.P {
+	case core.Synchronous:
+		if pw.cAcks == -1 && pw.localPersist {
+			r.validate(pw, MsgVAL)
+			r.completeWrite(pw)
+			delete(r.pending, pw.stamp)
+		}
+	case core.ReadEnforcedP:
+		if pw.cAcks == 0 && pw.pAcks == 0 && pw.localPersist {
+			r.validateP(pw)
+			delete(r.pending, pw.stamp)
+		}
+	}
+}
+
+// validate broadcasts the consistency VAL and clears local transient state.
+func (r *Replica) validate(pw *pendingWrite, kind MsgKind) {
+	if pw.valSent {
+		return
+	}
+	pw.valSent = true
+	r.broadcast(payload{Kind: kind, Key: pw.key, Stamp: pw.stamp})
+	ks := &r.keys[pw.key]
+	delete(ks.transC, pw.stamp)
+	if r.model.P != core.ReadEnforcedP {
+		r.wakeConsWaiters(ks)
+	}
+}
+
+// validateP broadcasts VAL_p and clears both transient sets locally.
+func (r *Replica) validateP(pw *pendingWrite) {
+	r.broadcast(payload{Kind: MsgVALp, Key: pw.key, Stamp: pw.stamp})
+	ks := &r.keys[pw.key]
+	delete(ks.transC, pw.stamp)
+	delete(ks.transP, pw.stamp)
+	r.wakeConsWaiters(ks)
+}
+
+// completeWrite fires the client's completion callback exactly once and
+// records coordinator-side write-stall metrics.
+func (r *Replica) completeWrite(pw *pendingWrite) {
+	if pw.clientDone == nil {
+		return
+	}
+	r.trace("WR k%d complete", pw.key)
+	done := pw.clientDone
+	pw.clientDone = nil
+	if !pw.early && pw.broadcastAt > 0 {
+		r.M.WriteStalls++
+		r.M.WriteStallTime += r.eng.Now() - pw.broadcastAt
+	}
+	done()
+}
+
+// onVAL handles VAL / VAL_c at a follower: the write is validated for
+// consistency; stalled reads may resume (unless VAL_p is still required).
+// A VAL carrying only a transaction id is the commit notification.
+func (r *Replica) onVAL(p payload) {
+	if p.Txn != 0 && p.Stamp.IsZero() {
+		r.commitVAL(p.Txn)
+		return
+	}
+	ks := &r.keys[p.Key]
+	delete(ks.transC, p.Stamp)
+	if len(ks.transC) == 0 && (r.model.P != core.ReadEnforcedP || len(ks.transP) == 0) {
+		r.wakeConsWaiters(ks)
+	}
+}
+
+// onVALp handles VAL_p at a follower: persistence validated everywhere.
+func (r *Replica) onVALp(p payload) {
+	if p.Scope != 0 {
+		return // scope VAL_p carries no per-key state
+	}
+	ks := &r.keys[p.Key]
+	delete(ks.transC, p.Stamp)
+	delete(ks.transP, p.Stamp)
+	if len(ks.transC) == 0 && len(ks.transP) == 0 {
+		r.wakeConsWaiters(ks)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Weak-consistency writes (Causal, Eventual)
+// ---------------------------------------------------------------------------
+
+// weakWrite implements the UPD-based write paths of Figure 2 (e-h).
+func (r *Replica) weakWrite(key uint64, scope uint64, done func(Stamp)) {
+	st := r.nextStamp()
+
+	var pw *pendingWrite
+	if r.model.P == core.Strict {
+		// Strict persistency stalls the write until persisted everywhere,
+		// even under weak consistency (Section 8.2).
+		pw = &pendingWrite{key: key, stamp: st, pAcks: r.followers(), clientDone: func() { done(st) }, broadcastAt: r.eng.Now()}
+		r.pending[st] = pw
+	}
+
+	var hist []uint64 // cauhist snapshot for Causal consistency
+	if r.model.C == core.Causal {
+		r.issued++
+		vc := r.appliedVC.Clone()
+		vc[r.id] = r.issued
+		hist = vc
+	}
+
+	r.applyVisible(key, st)
+
+	// Propagation: Causal sends the UPD (+cauhist) immediately; Eventual
+	// propagates lazily (Figure 2g delays the UPD send).
+	upd := payload{Kind: MsgUPD, Key: key, Stamp: st, Scope: scope, Cauhist: hist}
+	if r.model.C == core.Eventual {
+		r.eng.Schedule(r.p.EventualLag, func() { r.propagate(upd) })
+	} else {
+		r.propagate(upd)
+	}
+
+	// Local durability per persistency model. Under Synchronous/Strict the
+	// applied vector advances only at persist completion (visibility point
+	// and durability point coincide), gating dependent causal applies.
+	switch r.model.P {
+	case core.Strict:
+		r.persist(key, st, func() {
+			pw.localPersist = true
+			r.selfApplyCausal()
+			r.maybeFinishWeakStrictWrite(pw)
+		})
+		return // client completion arrives via ACK_p collection
+	case core.Synchronous:
+		r.persist(key, st, func() { r.selfApplyCausal() })
+	case core.ReadEnforcedP:
+		r.persist(key, st, nil)
+		r.selfApplyCausal()
+	case core.Scope:
+		r.deferScopePersist(scope, key, st)
+		r.selfApplyCausal()
+	case core.EventualP:
+		r.eng.Schedule(r.p.LazyPersist, func() { r.persist(key, st, nil) })
+		r.selfApplyCausal()
+	}
+	done(st)
+}
+
+// selfApplyCausal advances the local applied vector for one of the
+// coordinator's own writes and drains any updates it unblocks.
+func (r *Replica) selfApplyCausal() {
+	if r.model.C != core.Causal {
+		return
+	}
+	r.advanceApplied(r.id)
+}
+
+// maybeFinishWeakStrictWrite completes a weak-consistency write under Strict
+// persistency once every replica (and the local node) persisted it.
+func (r *Replica) maybeFinishWeakStrictWrite(pw *pendingWrite) {
+	if pw.pAcks == 0 && pw.localPersist && pw.clientDone != nil {
+		done := pw.clientDone
+		pw.clientDone = nil
+		r.M.WriteStalls++
+		r.M.WriteStallTime += r.eng.Now() - pw.broadcastAt
+		delete(r.pending, pw.stamp)
+		done()
+	}
+}
+
+// onUPD handles a lazy update at a follower.
+func (r *Replica) onUPD(from int, p payload) {
+	if p.Chain {
+		r.forwardChain(p)
+		from = p.Stamp.Node()
+	}
+	if r.model.C == core.Causal {
+		r.causalDeliver(from, p)
+		return
+	}
+	// Eventual consistency: apply in arrival order, last-writer-wins.
+	r.applyVisible(p.Key, p.Stamp)
+	r.followerDurability(from, p)
+}
+
+// followerDurability applies the persistency model to a weak-consistency
+// update that just became visible at this follower.
+func (r *Replica) followerDurability(from int, p payload) {
+	switch r.model.P {
+	case core.Strict:
+		r.persist(p.Key, p.Stamp, func() {
+			r.send(from, payload{Kind: MsgACKp, Stamp: p.Stamp})
+		})
+	case core.Synchronous, core.ReadEnforcedP:
+		r.persist(p.Key, p.Stamp, nil)
+	case core.Scope:
+		r.deferScopePersist(p.Scope, p.Key, p.Stamp)
+	case core.EventualP:
+		st, key := p.Stamp, p.Key
+		r.eng.Schedule(r.p.LazyPersist, func() { r.persist(key, st, nil) })
+	}
+}

@@ -1,0 +1,71 @@
+package recovery
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestPartialCrashMaskedByReplicas reproduces the paper's Section 1
+// motivation: a single-node failure is masked by remote volatile replicas
+// even under lazy persistency, while a full-cluster failure is not.
+func TestPartialCrashMaskedByReplicas(t *testing.T) {
+	cfg := crashConfig(core.Model{C: core.Linearizable, P: core.EventualP})
+	part, err := PartialCrashAndRecover(cfg, 1_500_000, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Audit.AckedWrites == 0 {
+		t.Fatal("no writes before the partial crash")
+	}
+	if part.Audit.LostAcked != 0 {
+		t.Fatalf("single-node crash lost %d acknowledged writes despite live replicas",
+			part.Audit.LostAcked)
+	}
+
+	full, err := CrashAndRecover(cfg, 1_500_000, NewestVote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Audit.LostAcked == 0 {
+		t.Fatal("full-cluster crash should lose in-flight acknowledged writes under Eventual persistency")
+	}
+}
+
+func TestPartialCrashMinorityUnderWeakModels(t *testing.T) {
+	// Even <Eventual, Eventual> masks a minority failure: every write that
+	// was acknowledged is visible in the coordinator's volatile store, and
+	// with one of three nodes down, two volatile copies remain... unless
+	// the acknowledged write only ever existed on the crashed node. Losing
+	// the coordinator before lazy propagation CAN lose writes — assert the
+	// loss is at most what the full crash loses.
+	cfg := crashConfig(core.Model{C: core.Eventual, P: core.EventualP})
+	part, err := PartialCrashAndRecover(cfg, 1_500_000, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := CrashAndRecover(cfg, 1_500_000, NewestVote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Audit.LostAcked > full.Audit.LostAcked {
+		t.Fatalf("partial crash (%d lost) cannot exceed full crash (%d lost)",
+			part.Audit.LostAcked, full.Audit.LostAcked)
+	}
+}
+
+func TestPartialCrashAllNodesEqualsFullCrash(t *testing.T) {
+	cfg := crashConfig(core.Model{C: core.Causal, P: core.EventualP})
+	part, err := PartialCrashAndRecover(cfg, 1_500_000, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := CrashAndRecover(cfg, 1_500_000, NewestVote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Audit.LostAcked != full.Audit.LostAcked {
+		t.Fatalf("all-node partial crash (%d) should equal full crash (%d)",
+			part.Audit.LostAcked, full.Audit.LostAcked)
+	}
+}

@@ -1,0 +1,184 @@
+// Package recovery implements crash injection and the post-crash audits
+// that turn the paper's qualitative durability and programmer-intuition
+// claims (Table 4, Section 6) into measured results.
+//
+// A crash wipes every node's volatile state; what remains is each node's
+// NVM image — the engine instance the protocol's persists wrote into. The
+// recovery algorithm reconstructs a cluster-wide state from those images
+// (the paper notes weak models need an advanced, voting-based recovery).
+// The audits then compare the recovered state with the history of
+// client-acknowledged operations.
+package recovery
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engines"
+	"repro/internal/protocol"
+)
+
+// Mode selects the recovery algorithm.
+type Mode int
+
+// Recovery modes.
+const (
+	// NewestVote adopts, per key, the newest version persisted on any node
+	// (a voting-based recovery; the paper's weak models need one).
+	NewestVote Mode = iota
+	// MajorityVote adopts the newest version persisted on a majority of
+	// nodes — it additionally survives losing a minority of NVM images.
+	MajorityVote
+)
+
+func (m Mode) String() string {
+	if m == MajorityVote {
+		return "majority-vote"
+	}
+	return "newest-vote"
+}
+
+// RecoveredState is the cluster state reconstructed after a crash.
+type RecoveredState struct {
+	Mode     Mode
+	Versions map[uint64]protocol.Stamp // per-key recovered stamp
+}
+
+// VersionOf returns the recovered stamp for key (zero if none).
+func (s *RecoveredState) VersionOf(key uint64) protocol.Stamp { return s.Versions[key] }
+
+// Keys returns how many keys were recovered.
+func (s *RecoveredState) Keys() int { return len(s.Versions) }
+
+// Recover reconstructs cluster state from the NVM images of a crashed
+// cluster. Volatile state plays no part: this is exactly what survives a
+// full-datacenter power failure.
+func Recover(c *cluster.Cluster, mode Mode) *RecoveredState {
+	st := &RecoveredState{Mode: mode, Versions: make(map[uint64]protocol.Stamp)}
+	n := len(c.Replicas)
+	quorum := n/2 + 1
+
+	perKey := make(map[uint64][]protocol.Stamp)
+	for _, r := range c.Replicas {
+		r.PersistedStore().Range(func(key uint64, it engines.Item) bool {
+			perKey[key] = append(perKey[key], protocol.Stamp(it.Version))
+			return true
+		})
+	}
+
+	for key, stamps := range perKey {
+		sort.Slice(stamps, func(i, j int) bool { return stamps[i] > stamps[j] })
+		switch mode {
+		case NewestVote:
+			st.Versions[key] = stamps[0]
+		case MajorityVote:
+			if len(stamps) >= quorum {
+				// The quorum-th newest stamp is persisted (at least as new)
+				// on a majority of nodes.
+				st.Versions[key] = stamps[quorum-1]
+			}
+		}
+	}
+	return st
+}
+
+// Crash wipes the volatile protocol and engine state of every replica,
+// leaving only NVM images. After Crash the cluster must not be run further;
+// it exists only to be Recovered and audited.
+func Crash(c *cluster.Cluster) {
+	c.Eng.Stop()
+	for _, r := range c.Replicas {
+		vol := r.VolatileStore()
+		var keys []uint64
+		vol.Range(func(key uint64, _ engines.Item) bool {
+			keys = append(keys, key)
+			return true
+		})
+		for _, k := range keys {
+			vol.Delete(k)
+		}
+	}
+}
+
+// Audit compares acknowledged operations against a recovered state.
+type Audit struct {
+	Mode Mode
+
+	AckedWrites int
+	// LostAcked counts client-acknowledged writes whose version (or any
+	// newer one) did not survive: a subsequent read would be stale.
+	LostAcked int
+	// LostConfirmedDurable counts writes that the model *claimed* durable
+	// (scope barrier completed, or a strict/synchronous acknowledgment) but
+	// that were lost anyway. It must be zero for a correct protocol.
+	LostConfirmedDurable int
+
+	// MonotonicViolationsAcrossCrash counts keys where a pre-crash read
+	// observed a newer version than what recovery produced — a post-crash
+	// read would travel back in time (the monotonic-reads failure of
+	// Table 4's weaker rows).
+	MonotonicViolationsAcrossCrash int
+
+	ReadsChecked int
+}
+
+// NonStaleReads reports whether every acknowledged write survived — the
+// paper's non-stale-read guarantee.
+func (a *Audit) NonStaleReads() bool { return a.LostAcked == 0 }
+
+// MonotonicAcrossCrash reports whether no pre-crash read could be followed
+// by an older post-crash read.
+func (a *Audit) MonotonicAcrossCrash() bool { return a.MonotonicViolationsAcrossCrash == 0 }
+
+// confirmedDurable reports whether the model promised the client this write
+// was already durable when it was acknowledged (or when its barrier ran).
+func confirmedDurable(m core.Model, w cluster.WriteRecord) bool {
+	switch m.P {
+	case core.Strict:
+		// Acknowledgment implies persistence everywhere.
+		return true
+	case core.Synchronous:
+		// Linearizable and Transactional acknowledgments wait for the
+		// persists; Read-Enforced/Causal/Eventual acknowledge early.
+		return m.C == core.Linearizable || m.C == core.Transactional
+	case core.Scope:
+		// Durable once the scope's [PERSIST]s barrier completed.
+		return w.ScopePersisted
+	default:
+		return false
+	}
+}
+
+// RunAudit checks the recovered state against the run's history. The
+// cluster must have been built with Config.TrackHistory.
+func RunAudit(res *cluster.Result, rec *RecoveredState) *Audit {
+	a := &Audit{Mode: rec.Mode}
+
+	for _, w := range res.Writes {
+		a.AckedWrites++
+		recovered := rec.VersionOf(w.Key)
+		if recovered < w.Stamp {
+			a.LostAcked++
+			if confirmedDurable(res.Config.Model, w) {
+				a.LostConfirmedDurable++
+			}
+		}
+	}
+
+	// Monotonic-across-crash: the newest version each key was *read* at
+	// must still be recoverable.
+	lastRead := make(map[uint64]protocol.Stamp)
+	for _, r := range res.Reads {
+		a.ReadsChecked++
+		if r.Stamp > lastRead[r.Key] {
+			lastRead[r.Key] = r.Stamp
+		}
+	}
+	for key, st := range lastRead {
+		if rec.VersionOf(key) < st {
+			a.MonotonicViolationsAcrossCrash++
+		}
+	}
+	return a
+}

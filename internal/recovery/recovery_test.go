@@ -1,0 +1,225 @@
+package recovery
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/params"
+	"repro/internal/protocol"
+	"repro/internal/ycsb"
+)
+
+func crashConfig(m core.Model) cluster.Config {
+	p := params.Default()
+	p.Servers = 3
+	p.ClientsPerServer = 4
+	p.Keys = 256
+	return cluster.Config{
+		Model:    m,
+		Workload: ycsb.WorkloadA,
+		Params:   p,
+		Seed:     7,
+	}
+}
+
+func mustCrash(t *testing.T, m core.Model) *CrashReport {
+	t.Helper()
+	rep, err := CrashAndRecover(crashConfig(m), 1_500_000, NewestVote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Audit.AckedWrites == 0 {
+		t.Fatalf("%s: crash run acknowledged no writes", m)
+	}
+	return rep
+}
+
+func TestStrictModelsLoseNothing(t *testing.T) {
+	for _, m := range []core.Model{
+		{C: core.Linearizable, P: core.Strict},
+		{C: core.Causal, P: core.Strict},
+		{C: core.Eventual, P: core.Strict},
+		{C: core.Linearizable, P: core.Synchronous},
+	} {
+		rep := mustCrash(t, m)
+		if rep.Audit.LostAcked != 0 {
+			t.Errorf("%s: lost %d of %d acknowledged writes; strict models must lose none",
+				m, rep.Audit.LostAcked, rep.Audit.AckedWrites)
+		}
+		if !rep.NonStaleReads() {
+			t.Errorf("%s: non-stale reads should hold", m)
+		}
+	}
+}
+
+func TestTransactionalSynchronousDurable(t *testing.T) {
+	rep := mustCrash(t, core.Model{C: core.Transactional, P: core.Synchronous})
+	if rep.Audit.LostAcked != 0 {
+		t.Fatalf("committed transactional writes lost: %d of %d",
+			rep.Audit.LostAcked, rep.Audit.AckedWrites)
+	}
+}
+
+func TestRelaxedModelsLoseAckedWrites(t *testing.T) {
+	// The at-risk window of an acknowledged-but-unpersisted write can be
+	// well under a microsecond (e.g. Read-Enforced consistency with
+	// Synchronous persistency), so probe several crash instants and require
+	// that at least one catches in-flight writes.
+	for _, m := range []core.Model{
+		{C: core.ReadEnforcedC, P: core.Synchronous},
+		{C: core.Causal, P: core.Synchronous},
+		{C: core.Linearizable, P: core.EventualP},
+		{C: core.Eventual, P: core.EventualP},
+	} {
+		lost := 0
+		staleVerdicts := 0
+		for _, at := range []int64{1_100_000, 1_400_000, 1_700_000, 2_000_000} {
+			rep, err := CrashAndRecover(crashConfig(m), at, NewestVote)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lost += rep.Audit.LostAcked
+			if !rep.NonStaleReads() {
+				staleVerdicts++
+			}
+		}
+		if lost == 0 {
+			t.Errorf("%s: expected some acknowledged writes lost across 4 crash points", m)
+		}
+		if staleVerdicts == 0 {
+			t.Errorf("%s: non-stale reads held at every crash point; should fail at least once", m)
+		}
+	}
+}
+
+func TestNoConfirmedDurableWriteEverLost(t *testing.T) {
+	// The invariant that must hold for EVERY model: whatever the protocol
+	// told the client was durable really is.
+	for _, m := range core.AllModels() {
+		rep := mustCrash(t, m)
+		if rep.Audit.LostConfirmedDurable != 0 {
+			t.Errorf("%s: %d confirmed-durable writes lost", m, rep.Audit.LostConfirmedDurable)
+		}
+	}
+}
+
+func TestScopeModelRecoversCompletedScopes(t *testing.T) {
+	rep := mustCrash(t, core.Model{C: core.Linearizable, P: core.Scope})
+	// Scope runs must have executed barriers and their writes must survive;
+	// unpersisted-scope writes may be lost.
+	if rep.Result.Protocol.ScopePersists == 0 {
+		t.Fatal("no scope barriers ran before the crash")
+	}
+	persisted := 0
+	for _, w := range rep.Result.Writes {
+		if w.ScopePersisted {
+			persisted++
+			if rep.Recovered.VersionOf(w.Key) < w.Stamp {
+				t.Fatalf("scope-persisted write on key %d lost", w.Key)
+			}
+		}
+	}
+	if persisted == 0 {
+		t.Fatal("no scope-persisted writes recorded")
+	}
+}
+
+func TestEventualConsistencyFailsLiveMonotonic(t *testing.T) {
+	rep := mustCrash(t, core.Model{C: core.Eventual, P: core.EventualP})
+	if rep.Live.Violations == 0 {
+		t.Fatal("eventual consistency should show live monotonic-read violations")
+	}
+	if rep.MonotonicReads() {
+		t.Fatal("eventual consistency must not pass the monotonic-reads verdict")
+	}
+}
+
+func TestLinearizableHoldsLiveMonotonic(t *testing.T) {
+	rep := mustCrash(t, core.Baseline)
+	if !rep.Live.Holds() {
+		t.Fatalf("linearizable runs must hold monotonic reads; %d/%d violations",
+			rep.Live.Violations, rep.Live.ReadsChecked)
+	}
+	if !rep.MonotonicReads() {
+		t.Fatal("monotonic verdict should hold for <Linearizable, Synchronous>")
+	}
+}
+
+func TestMajorityVoteWeakerThanNewest(t *testing.T) {
+	cfg := crashConfig(core.Model{C: core.Causal, P: core.EventualP})
+	newest, err := CrashAndRecover(cfg, 1_500_000, NewestVote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	majority, err := CrashAndRecover(cfg, 1_500_000, MajorityVote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if majority.Audit.LostAcked < newest.Audit.LostAcked {
+		t.Fatalf("majority vote (%d lost) cannot beat newest vote (%d lost)",
+			majority.Audit.LostAcked, newest.Audit.LostAcked)
+	}
+	if majority.Recovered.Keys() > newest.Recovered.Keys() {
+		t.Fatal("majority vote recovered more keys than newest vote")
+	}
+}
+
+func TestCrashWipesVolatileOnly(t *testing.T) {
+	cfg := crashConfig(core.Baseline)
+	cfg.TrackHistory = true
+	c, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.Eng.Run(1_000_000)
+	if c.Replicas[0].VolatileStore().Len() == 0 {
+		t.Fatal("no volatile state before crash")
+	}
+	persisted := c.Replicas[0].PersistedStore().Len()
+	if persisted == 0 {
+		t.Fatal("no persisted state before crash")
+	}
+	Crash(c)
+	if c.Replicas[0].VolatileStore().Len() != 0 {
+		t.Fatal("volatile state survived the crash")
+	}
+	if c.Replicas[0].PersistedStore().Len() != persisted {
+		t.Fatal("crash corrupted the NVM image")
+	}
+}
+
+func TestRecoveredStateVersionsAreRealStamps(t *testing.T) {
+	rep := mustCrash(t, core.Baseline)
+	if rep.Recovered.Keys() == 0 {
+		t.Fatal("nothing recovered")
+	}
+	for key, st := range rep.Recovered.Versions {
+		if st.IsZero() {
+			t.Fatalf("key %d recovered with zero stamp", key)
+		}
+		if st.Node() < 0 || st.Node() >= 3 {
+			t.Fatalf("key %d recovered from impossible node %d", key, st.Node())
+		}
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if NewestVote.String() != "newest-vote" || MajorityVote.String() != "majority-vote" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func TestMonotonicReportRates(t *testing.T) {
+	var empty MonotonicReport
+	if empty.ViolationRate() != 0 || !empty.Holds() {
+		t.Fatal("empty report should hold trivially")
+	}
+	bad := MonotonicReport{ReadsChecked: 100, Violations: 10}
+	if bad.Holds() {
+		t.Fatal("10% violations should not hold")
+	}
+}
+
+var _ = protocol.Stamp(0) // keep import for doc links in this test package

@@ -1,0 +1,101 @@
+package recovery
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engines"
+	"repro/internal/params"
+)
+
+// RecoveryTiming models how long post-crash recovery takes under a DDP
+// model — the paper's Section 9 observation that "the complexity of the
+// recovery is higher in the weaker models than in the stricter ones":
+// strict models just reload their (identical) NVM images, while weaker
+// models additionally run a voting round to reconcile divergent images.
+type RecoveryTiming struct {
+	Model core.Model
+
+	// LocalScanNs is the time for every node (in parallel) to scan its NVM
+	// image: keys / device parallelism * read latency.
+	LocalScanNs int64
+	// VotingNs is the reconciliation round for models whose NVM images can
+	// diverge: each node ships (key, stamp) summaries to a recovery
+	// coordinator, which broadcasts the winning versions back.
+	VotingNs int64
+	// TotalNs is the modeled wall-clock recovery time.
+	TotalNs int64
+	// NeedsVoting reports whether the model required the voting round.
+	NeedsVoting bool
+}
+
+// needsVoting reports whether a model's NVM images can diverge at a crash
+// in a way that requires cross-node reconciliation. Strict persists before
+// acknowledging anywhere; Linearizable/Transactional+Synchronous complete
+// writes only after persists everywhere, so any divergence is limited to
+// unacknowledged writes and each node's image is already consistent.
+func needsVoting(m core.Model) bool {
+	if m.P == core.Strict {
+		return false
+	}
+	if m.P == core.Synchronous && (m.C == core.Linearizable || m.C == core.Transactional) {
+		return false
+	}
+	return true
+}
+
+// TimeRecovery models the recovery duration for a crashed cluster with
+// recovered key count keys.
+func TimeRecovery(m core.Model, p params.Params, keys int) RecoveryTiming {
+	t := RecoveryTiming{Model: m, NeedsVoting: needsVoting(m)}
+
+	// Local scan: the node streams its image from NVM; channel/bank
+	// parallelism applies.
+	parallel := int64(p.NVMChannels * p.NVMBanks)
+	perNode := int64(keys)
+	scans := (perNode + parallel - 1) / parallel
+	t.LocalScanNs = scans * p.NVMReadLat
+
+	if t.NeedsVoting {
+		// Each node sends (key, stamp) = 16 B per key to the coordinator;
+		// the coordinator merges and broadcasts winners. Two transfer
+		// phases plus a round trip of coordination.
+		bytes := int64(keys) * 16
+		transfer := bytes * 8 * 1e9 / p.NetBandwidth
+		t.VotingNs = 2*transfer + 2*p.NetRoundTrip
+	}
+	t.TotalNs = t.LocalScanNs + t.VotingNs
+	return t
+}
+
+// TimeRecoveryOf measures a crashed cluster's actual recovered-key count
+// and returns its modeled recovery time.
+func TimeRecoveryOf(c *cluster.Cluster, rec *RecoveredState) RecoveryTiming {
+	keys := rec.Keys()
+	if keys == 0 {
+		// Fall back to image sizes (recovery still scans them).
+		for _, r := range c.Replicas {
+			if n := r.PersistedStore().Len(); n > keys {
+				keys = n
+			}
+		}
+	}
+	return TimeRecovery(c.Cfg.Model, c.Cfg.Params, keys)
+}
+
+// imageDivergence counts keys whose persisted stamp differs across nodes —
+// the work a voting recovery actually reconciles. Exposed for experiments.
+func ImageDivergence(c *cluster.Cluster) int {
+	versions := make(map[uint64]uint64)
+	diverged := make(map[uint64]bool)
+	for _, r := range c.Replicas {
+		r.PersistedStore().Range(func(key uint64, it engines.Item) bool {
+			if prev, seen := versions[key]; seen && prev != it.Version {
+				diverged[key] = true
+			} else {
+				versions[key] = it.Version
+			}
+			return true
+		})
+	}
+	return len(diverged)
+}

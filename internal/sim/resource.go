@@ -1,0 +1,148 @@
+package sim
+
+// Pool models a set of identical servers (e.g. worker threads) with a shared
+// FIFO queue — the standard M/G/c service-center abstraction used throughout
+// the simulator. Two job flavors exist:
+//
+//   - Acquire: occupies one server for a fixed service time (message
+//     handling, request compute).
+//   - AcquireHold: occupies one server until the job calls release — a
+//     run-to-completion worker blocking on a stalled operation. Holds are
+//     capped below the pool size so fixed jobs (which include the protocol
+//     messages that eventually unblock the holders) can never starve: this
+//     is what lets stalled reads deplete — but not deadlock — a node's
+//     worker pool, the paper's high-client-count degradation mechanism.
+type Pool struct {
+	eng      *Engine
+	size     int
+	maxHolds int
+
+	busy  int
+	holds int
+	queue []poolJob
+
+	jobs    uint64
+	busyAcc int64
+	maxWait int64
+	sumWait int64
+}
+
+type poolJob struct {
+	at      int64 // enqueue time
+	service int64
+	done    func()
+	hold    func(release func())
+}
+
+// NewPool creates a pool of n servers on engine eng. n must be >= 1.
+func NewPool(eng *Engine, n int) *Pool {
+	if n < 1 {
+		panic("sim: pool needs at least one server")
+	}
+	maxHolds := n - 1
+	if maxHolds < 1 {
+		maxHolds = 1 // single-server pools run holds without blocking (see AcquireHold)
+	}
+	return &Pool{eng: eng, size: n, maxHolds: maxHolds}
+}
+
+// Acquire enqueues a fixed-service job; done (optional) runs at completion.
+func (p *Pool) Acquire(service int64, done func()) {
+	if service < 0 {
+		service = 0
+	}
+	p.queue = append(p.queue, poolJob{at: p.eng.Now(), service: service, done: done})
+	p.dispatch()
+}
+
+// AcquireHold enqueues a job that occupies a server from start until the
+// job invokes release (exactly once). start receives the release function.
+// On a single-server pool the hold runs immediately without occupancy, so
+// the server stays available for the messages that unblock the holder.
+func (p *Pool) AcquireHold(start func(release func())) {
+	if p.size == 1 {
+		start(func() {})
+		return
+	}
+	p.queue = append(p.queue, poolJob{at: p.eng.Now(), hold: start})
+	p.dispatch()
+}
+
+// dispatch starts every queue entry that can run: fixed jobs in FIFO order,
+// holds likewise but capped at maxHolds (later fixed jobs may bypass a
+// blocked hold so message processing never starves).
+func (p *Pool) dispatch() {
+	for p.busy < p.size {
+		idx := -1
+		for i := range p.queue {
+			if p.queue[i].hold == nil || p.holds < p.maxHolds {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		j := p.queue[idx]
+		p.queue = append(p.queue[:idx], p.queue[idx+1:]...)
+		p.startJob(j)
+	}
+}
+
+func (p *Pool) startJob(j poolJob) {
+	now := p.eng.Now()
+	wait := now - j.at
+	p.jobs++
+	p.sumWait += wait
+	if wait > p.maxWait {
+		p.maxWait = wait
+	}
+	p.busy++
+	if j.hold != nil {
+		p.holds++
+		released := false
+		start := now
+		j.hold(func() {
+			if released {
+				return
+			}
+			released = true
+			p.busy--
+			p.holds--
+			p.busyAcc += p.eng.Now() - start
+			p.dispatch()
+		})
+		return
+	}
+	p.busyAcc += j.service
+	p.eng.Schedule(j.service, func() {
+		p.busy--
+		if j.done != nil {
+			j.done()
+		}
+		p.dispatch()
+	})
+}
+
+// Jobs returns the number of jobs started.
+func (p *Pool) Jobs() uint64 { return p.jobs }
+
+// BusyTime returns the total accumulated service time across servers.
+func (p *Pool) BusyTime() int64 { return p.busyAcc }
+
+// MeanWait returns the average queueing delay per job in ns.
+func (p *Pool) MeanWait() float64 {
+	if p.jobs == 0 {
+		return 0
+	}
+	return float64(p.sumWait) / float64(p.jobs)
+}
+
+// MaxWait returns the largest queueing delay observed.
+func (p *Pool) MaxWait() int64 { return p.maxWait }
+
+// Size returns the number of servers in the pool.
+func (p *Pool) Size() int { return p.size }
+
+// Held returns how many servers are currently blocked in holds.
+func (p *Pool) Held() int { return p.holds }

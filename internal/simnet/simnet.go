@@ -1,0 +1,205 @@
+// Package simnet models the cluster interconnect: per-node NICs with finite
+// bandwidth and queue pairs, and fixed NIC-to-NIC propagation delay (the
+// paper's 1 us round trip over RDMA/InfiniBand-class fabric).
+//
+// A message sent from node a to node b is serialized onto a's NIC (bandwidth
+// occupancy), propagates for the one-way latency, is serialized into b's
+// receive path, and is then handed to b's receive handler. Broadcasts place
+// one serialization per destination, matching the paper's
+// "coordinator broadcasts to all followers" design.
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Handler consumes a delivered message at a node.
+type Handler func(msg Message)
+
+// Message is an opaque protocol message with routing and accounting fields.
+type Message struct {
+	From    int
+	To      int
+	Size    int // bytes on the wire, including header
+	Kind    int // protocol-defined tag, carried for tracing/accounting
+	Payload interface{}
+	SentAt  int64
+}
+
+// Config describes the fabric.
+type Config struct {
+	Nodes      int
+	OneWayLat  int64 // ns propagation NIC-to-NIC
+	Jitter     int64 // max extra one-way delay, ns (uniform; 0 = none)
+	Bandwidth  int64 // bits/s per NIC (each direction)
+	QueuePairs int   // max in-flight sends per NIC; extra sends queue
+	Seed       uint64
+}
+
+// Per-(src,dst) FIFO is guaranteed even with jitter: an early jittered
+// arrival is clamped behind its predecessor's arrival (reliable-connection
+// ordering), while cross-source interleavings at a destination are decided
+// by arrival order.
+
+// Network connects Nodes NICs. Register a handler per node before sending.
+type Network struct {
+	eng      *sim.Engine
+	cfg      Config
+	rng      *sim.RNG
+	handlers []Handler
+
+	txFree     []int64   // per-node NIC transmit next-free time
+	rxFree     []int64   // per-node NIC receive next-free time
+	inFlight   []int     // per-node queue-pair occupancy
+	lastArrive [][]int64 // per-(src,dst) last arrival, enforcing pair FIFO
+
+	msgs     uint64
+	bytes    uint64
+	byKind   map[int]uint64
+	dropped  uint64
+	sumDelay int64
+}
+
+// New creates a network. Config.Nodes must be >= 1.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if cfg.Nodes < 1 {
+		panic(fmt.Sprintf("simnet: need >= 1 node, got %d", cfg.Nodes))
+	}
+	if cfg.Bandwidth <= 0 {
+		panic("simnet: bandwidth must be positive")
+	}
+	la := make([][]int64, cfg.Nodes)
+	for i := range la {
+		la[i] = make([]int64, cfg.Nodes)
+	}
+	return &Network{
+		eng:        eng,
+		cfg:        cfg,
+		rng:        sim.NewRNG(cfg.Seed ^ 0x5eed5eed),
+		handlers:   make([]Handler, cfg.Nodes),
+		txFree:     make([]int64, cfg.Nodes),
+		rxFree:     make([]int64, cfg.Nodes),
+		inFlight:   make([]int, cfg.Nodes),
+		lastArrive: la,
+		byKind:     make(map[int]uint64),
+	}
+}
+
+// Register installs the receive handler for node id.
+func (n *Network) Register(id int, h Handler) {
+	n.handlers[id] = h
+}
+
+// serialization returns the wire time of size bytes at the NIC bandwidth.
+func (n *Network) serialization(size int) int64 {
+	bits := int64(size) * 8
+	ns := bits * 1e9 / n.cfg.Bandwidth
+	if ns < 1 {
+		ns = 1
+	}
+	return ns
+}
+
+// Send transmits msg; delivery invokes the destination handler. Sends to
+// self are delivered after a loopback cost of one serialization (no
+// propagation), which the protocols use for local client responses.
+func (n *Network) Send(msg Message) {
+	if msg.From < 0 || msg.From >= n.cfg.Nodes || msg.To < 0 || msg.To >= n.cfg.Nodes {
+		panic(fmt.Sprintf("simnet: bad route %d->%d", msg.From, msg.To))
+	}
+	msg.SentAt = n.eng.Now()
+	n.msgs++
+	n.bytes += uint64(msg.Size)
+	n.byKind[msg.Kind]++
+
+	ser := n.serialization(msg.Size)
+
+	// Queue-pair backpressure: once the NIC has QueuePairs sends in flight,
+	// each additional send pays an extra scheduling penalty on top of the
+	// transmit-queue delay (doorbell/WQE recycling cost).
+	qpDelay := int64(0)
+	if n.cfg.QueuePairs > 0 && n.inFlight[msg.From] >= n.cfg.QueuePairs {
+		qpDelay = ser * int64(n.inFlight[msg.From]-n.cfg.QueuePairs+1)
+	}
+	n.inFlight[msg.From]++
+
+	start := n.txFree[msg.From]
+	if now := n.eng.Now(); start < now {
+		start = now
+	}
+	txDone := start + ser + qpDelay
+	n.txFree[msg.From] = txDone
+
+	lat := n.cfg.OneWayLat
+	if n.cfg.Jitter > 0 {
+		lat += n.rng.Int63n(n.cfg.Jitter + 1)
+	}
+	if msg.To == msg.From {
+		lat = 0
+	}
+	arrive := txDone + lat
+	// Reliable-connection transports deliver in order per (src,dst) pair:
+	// clamp a jittered early arrival behind its predecessor.
+	if arrive < n.lastArrive[msg.From][msg.To] {
+		arrive = n.lastArrive[msg.From][msg.To]
+	}
+	n.lastArrive[msg.From][msg.To] = arrive
+
+	// Receive-side serialization queues in arrival order (cross-source
+	// interleavings at the destination are decided by arrival, not send).
+	n.eng.At(arrive, func() {
+		rxStart := n.rxFree[msg.To]
+		if now := n.eng.Now(); rxStart < now {
+			rxStart = now
+		}
+		rxDone := rxStart + ser
+		n.rxFree[msg.To] = rxDone
+		n.eng.At(rxDone, func() {
+			n.inFlight[msg.From]--
+			n.sumDelay += n.eng.Now() - msg.SentAt
+			h := n.handlers[msg.To]
+			if h == nil {
+				n.dropped++
+				return
+			}
+			h(msg)
+		})
+	})
+}
+
+// Broadcast sends a copy of msg from its From node to every other node.
+func (n *Network) Broadcast(msg Message, except int) {
+	for to := 0; to < n.cfg.Nodes; to++ {
+		if to == msg.From || to == except {
+			continue
+		}
+		m := msg
+		m.To = to
+		n.Send(m)
+	}
+}
+
+// Messages returns the number of messages sent.
+func (n *Network) Messages() uint64 { return n.msgs }
+
+// Bytes returns total bytes placed on the wire.
+func (n *Network) Bytes() uint64 { return n.bytes }
+
+// MessagesOfKind returns the per-kind message count.
+func (n *Network) MessagesOfKind(kind int) uint64 { return n.byKind[kind] }
+
+// Dropped returns messages delivered to nodes with no handler.
+func (n *Network) Dropped() uint64 { return n.dropped }
+
+// MeanDelay returns the average send-to-deliver delay in ns.
+func (n *Network) MeanDelay() float64 {
+	if n.msgs == 0 {
+		return 0
+	}
+	return float64(n.sumDelay) / float64(n.msgs)
+}
+
+// Nodes returns the number of NICs.
+func (n *Network) Nodes() int { return n.cfg.Nodes }

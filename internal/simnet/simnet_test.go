@@ -1,0 +1,204 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func netCfg(nodes int) Config {
+	return Config{Nodes: nodes, OneWayLat: 500, Bandwidth: 200_000_000_000, QueuePairs: 400}
+}
+
+func TestPointToPointLatency(t *testing.T) {
+	e := sim.New()
+	n := New(e, netCfg(2))
+	var arrived int64 = -1
+	n.Register(1, func(m Message) { arrived = e.Now() })
+	e.Schedule(0, func() { n.Send(Message{From: 0, To: 1, Size: 128}) })
+	e.RunAll()
+	// 128B at 200Gb/s = 5.12ns -> 5ns serialization each side, +500 one-way.
+	if arrived < 500 || arrived > 520 {
+		t.Fatalf("delivery at %d, want ~510", arrived)
+	}
+}
+
+func TestSelfSendSkipsPropagation(t *testing.T) {
+	e := sim.New()
+	n := New(e, netCfg(2))
+	var arrived int64 = -1
+	n.Register(0, func(m Message) { arrived = e.Now() })
+	e.Schedule(0, func() { n.Send(Message{From: 0, To: 0, Size: 128}) })
+	e.RunAll()
+	if arrived >= 500 || arrived < 0 {
+		t.Fatalf("self delivery at %d, want < one-way latency", arrived)
+	}
+}
+
+func TestBroadcastReachesAllButSenderAndExcept(t *testing.T) {
+	e := sim.New()
+	n := New(e, netCfg(5))
+	got := map[int]bool{}
+	for i := 0; i < 5; i++ {
+		i := i
+		n.Register(i, func(m Message) { got[i] = true })
+	}
+	e.Schedule(0, func() { n.Broadcast(Message{From: 2, Size: 64}, 4) })
+	e.RunAll()
+	if got[2] || got[4] {
+		t.Fatalf("broadcast delivered to sender or excluded node: %v", got)
+	}
+	for _, id := range []int{0, 1, 3} {
+		if !got[id] {
+			t.Fatalf("node %d missed broadcast: %v", id, got)
+		}
+	}
+	if n.Messages() != 3 {
+		t.Fatalf("messages = %d, want 3", n.Messages())
+	}
+}
+
+func TestBandwidthSerializesLargeSends(t *testing.T) {
+	e := sim.New()
+	// 1 Gb/s so serialization is visible: 1250 bytes = 10000 ns.
+	n := New(e, Config{Nodes: 2, OneWayLat: 0, Bandwidth: 1_000_000_000, QueuePairs: 400})
+	var times []int64
+	n.Register(1, func(m Message) { times = append(times, e.Now()) })
+	e.Schedule(0, func() {
+		n.Send(Message{From: 0, To: 1, Size: 1250})
+		n.Send(Message{From: 0, To: 1, Size: 1250})
+	})
+	e.RunAll()
+	if len(times) != 2 {
+		t.Fatalf("deliveries = %d, want 2", len(times))
+	}
+	if times[1]-times[0] < 10000 {
+		t.Fatalf("second send not serialized behind first: %v", times)
+	}
+}
+
+func TestPerMessageKindAccounting(t *testing.T) {
+	e := sim.New()
+	n := New(e, netCfg(2))
+	n.Register(1, func(Message) {})
+	e.Schedule(0, func() {
+		n.Send(Message{From: 0, To: 1, Size: 10, Kind: 7})
+		n.Send(Message{From: 0, To: 1, Size: 20, Kind: 7})
+		n.Send(Message{From: 0, To: 1, Size: 30, Kind: 9})
+	})
+	e.RunAll()
+	if n.MessagesOfKind(7) != 2 || n.MessagesOfKind(9) != 1 {
+		t.Fatalf("kind counts wrong: 7=%d 9=%d", n.MessagesOfKind(7), n.MessagesOfKind(9))
+	}
+	if n.Bytes() != 60 {
+		t.Fatalf("bytes = %d, want 60", n.Bytes())
+	}
+}
+
+func TestUnregisteredHandlerCountsDropped(t *testing.T) {
+	e := sim.New()
+	n := New(e, netCfg(2))
+	e.Schedule(0, func() { n.Send(Message{From: 0, To: 1, Size: 8}) })
+	e.RunAll()
+	if n.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", n.Dropped())
+	}
+}
+
+func TestBadRoutePanics(t *testing.T) {
+	e := sim.New()
+	n := New(e, netCfg(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range destination")
+		}
+	}()
+	n.Send(Message{From: 0, To: 5, Size: 8})
+}
+
+func TestMeanDelayPositive(t *testing.T) {
+	e := sim.New()
+	n := New(e, netCfg(3))
+	n.Register(1, func(Message) {})
+	e.Schedule(0, func() { n.Send(Message{From: 0, To: 1, Size: 64}) })
+	e.RunAll()
+	if n.MeanDelay() < 500 {
+		t.Fatalf("mean delay %.0f below propagation latency", n.MeanDelay())
+	}
+}
+
+func TestQueuePairBackpressure(t *testing.T) {
+	e := sim.New()
+	low := New(e, Config{Nodes: 2, OneWayLat: 0, Bandwidth: 1_000_000_000, QueuePairs: 1})
+	var last int64
+	low.Register(1, func(Message) { last = e.Now() })
+	e.Schedule(0, func() {
+		for i := 0; i < 4; i++ {
+			low.Send(Message{From: 0, To: 1, Size: 1250})
+		}
+	})
+	e.RunAll()
+
+	e2 := sim.New()
+	high := New(e2, Config{Nodes: 2, OneWayLat: 0, Bandwidth: 1_000_000_000, QueuePairs: 400})
+	var last2 int64
+	high.Register(1, func(Message) { last2 = e2.Now() })
+	e2.Schedule(0, func() {
+		for i := 0; i < 4; i++ {
+			high.Send(Message{From: 0, To: 1, Size: 1250})
+		}
+	})
+	e2.RunAll()
+	if last <= last2 {
+		t.Fatalf("QP=1 finished at %d, QP=400 at %d; constrained QPs should be slower", last, last2)
+	}
+}
+
+func TestPayloadRoundTrips(t *testing.T) {
+	e := sim.New()
+	n := New(e, netCfg(2))
+	type payload struct{ X int }
+	var got *payload
+	n.Register(1, func(m Message) { got = m.Payload.(*payload) })
+	e.Schedule(0, func() {
+		n.Send(Message{From: 0, To: 1, Size: 8, Payload: &payload{X: 42}})
+	})
+	e.RunAll()
+	if got == nil || got.X != 42 {
+		t.Fatalf("payload lost: %+v", got)
+	}
+}
+
+// Property: messages between one (src,dst) pair are delivered in send order
+// (per-pair FIFO), which the protocol relies on for INV-before-ENDX and
+// INV-before-PERSIST orderings.
+func TestPerPairFIFOProperty(t *testing.T) {
+	e := sim.New()
+	n := New(e, Config{Nodes: 3, OneWayLat: 500, Bandwidth: 1_000_000_000, QueuePairs: 4})
+	var got []int
+	n.Register(1, func(m Message) { got = append(got, m.Payload.(int)) })
+	n.Register(2, func(Message) {})
+	r := sim.NewRNG(5)
+	seqs := 0
+	e.Schedule(0, func() {
+		for i := 0; i < 200; i++ {
+			// Interleave sends to two destinations with varying sizes.
+			size := 64 + r.Intn(4000)
+			if r.Intn(3) == 0 {
+				n.Send(Message{From: 0, To: 2, Size: size, Payload: -1})
+				continue
+			}
+			n.Send(Message{From: 0, To: 1, Size: size, Payload: seqs})
+			seqs++
+		}
+	})
+	e.RunAll()
+	if len(got) != seqs {
+		t.Fatalf("delivered %d of %d", len(got), seqs)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated at %d: %v", i, got[:i+1])
+		}
+	}
+}

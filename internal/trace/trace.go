@@ -1,0 +1,84 @@
+// Package trace records protocol events with simulated timestamps and
+// renders them as per-node timelines — the textual equivalent of the
+// paper's protocol figures (Figures 2-5). Tracing is opt-in per replica and
+// costs nothing when disabled.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Event is one timestamped protocol action at a node.
+type Event struct {
+	At   int64
+	Node int
+	What string
+}
+
+// Log collects events for one simulation.
+type Log struct {
+	events []Event
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Add records one event.
+func (l *Log) Add(at int64, node int, what string) {
+	l.events = append(l.events, Event{At: at, Node: node, What: what})
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Events returns a copy of the log in (time, insertion) order.
+func (l *Log) Events() []Event {
+	out := append([]Event(nil), l.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Filter returns the events whose description contains substr.
+func (l *Log) Filter(substr string) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if strings.Contains(e.What, substr) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Render writes a per-node timeline: one column per node, one row per
+// event, in time order — the layout of the paper's coordinator/follower
+// figures.
+func (l *Log) Render(w io.Writer, nodes int) {
+	const colWidth = 26
+	fmt.Fprintf(w, "%10s", "t(ns)")
+	for n := 0; n < nodes; n++ {
+		role := fmt.Sprintf("node %d", n)
+		if n == 0 {
+			role = "node 0 (coordinator)"
+		}
+		fmt.Fprintf(w, " | %-*s", colWidth, role)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 10+(colWidth+3)*nodes))
+	for _, e := range l.Events() {
+		fmt.Fprintf(w, "%10d", e.At)
+		for n := 0; n < nodes; n++ {
+			cell := ""
+			if n == e.Node {
+				cell = e.What
+			}
+			if len(cell) > colWidth {
+				cell = cell[:colWidth]
+			}
+			fmt.Fprintf(w, " | %-*s", colWidth, cell)
+		}
+		fmt.Fprintln(w)
+	}
+}

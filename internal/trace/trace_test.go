@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLogOrdersByTime(t *testing.T) {
+	l := New()
+	l.Add(30, 1, "c")
+	l.Add(10, 0, "a")
+	l.Add(20, 2, "b")
+	evs := l.Events()
+	if len(evs) != 3 || l.Len() != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].What != "a" || evs[1].What != "b" || evs[2].What != "c" {
+		t.Fatalf("order wrong: %+v", evs)
+	}
+}
+
+func TestLogStableWithinTimestamp(t *testing.T) {
+	l := New()
+	l.Add(5, 0, "first")
+	l.Add(5, 1, "second")
+	evs := l.Events()
+	if evs[0].What != "first" || evs[1].What != "second" {
+		t.Fatalf("same-time events not insertion-ordered: %+v", evs)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := New()
+	l.Add(1, 0, "send INV")
+	l.Add(2, 1, "recv INV")
+	l.Add(3, 0, "send VAL")
+	if got := l.Filter("INV"); len(got) != 2 {
+		t.Fatalf("filter INV = %d events", len(got))
+	}
+	if got := l.Filter("nothing"); len(got) != 0 {
+		t.Fatalf("filter miss = %d events", len(got))
+	}
+}
+
+func TestRenderColumns(t *testing.T) {
+	l := New()
+	l.Add(100, 0, "WR k1")
+	l.Add(200, 2, "recv INV")
+	var buf bytes.Buffer
+	l.Render(&buf, 3)
+	out := buf.String()
+	if !strings.Contains(out, "node 0 (coordinator)") || !strings.Contains(out, "node 2") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "WR k1") || !strings.Contains(out, "recv INV") {
+		t.Fatalf("missing events:\n%s", out)
+	}
+	// The node-2 event must appear in the third column (after two separators).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "recv INV") {
+			if idx := strings.Index(line, "recv INV"); idx < 40 {
+				t.Fatalf("node-2 event rendered in the wrong column: %q", line)
+			}
+		}
+	}
+}
+
+func TestRenderTruncatesLongEvents(t *testing.T) {
+	l := New()
+	l.Add(1, 0, strings.Repeat("x", 100))
+	var buf bytes.Buffer
+	l.Render(&buf, 1) // must not panic or misalign
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
