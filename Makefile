@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments examples clean
+.PHONY: all build check test vet bench experiments examples clean
 
-all: build vet test
+all: build check
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,12 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Full gate: vet plus the test suite under the race detector. The parallel
+# sweep runner makes every experiment concurrent, so races are first-class
+# correctness bugs here.
+check: vet
+	$(GO) test -race ./...
 
 # One testing.B benchmark per paper table/figure plus engine micro-benches.
 bench:

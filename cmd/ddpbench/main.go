@@ -19,11 +19,13 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	engine := flag.String("engine", "", "kv engine: hashtable, map, btree, bplustree, memcache, walstore (default hashtable)")
 	csvOut := flag.Bool("csv", false, "emit tidy CSV instead of text (fig6/fig7/fig8/fig9/durability)")
+	parallel := flag.Int("parallel", 0, "experiment cells to run concurrently (0 = all cores, 1 = sequential; never changes results)")
 	flag.Parse()
 
 	o := harness.DefaultOptions()
 	o.Seed = *seed
 	o.Engine = *engine
+	o.Parallel = *parallel
 	o.Progress = os.Stderr
 	if *quick {
 		o = o.Quick()

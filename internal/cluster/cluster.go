@@ -162,6 +162,9 @@ func New(cfg Config) (*Cluster, error) {
 
 	p := cfg.Params
 	eng := sim.New()
+	// Size the event heap for the steady-state load (in-flight messages,
+	// device completions, client timers) so the hot loop never regrows it.
+	eng.Reserve(1024 + p.Servers*p.ClientsPerServer*8)
 	net := simnet.New(eng, simnet.Config{
 		Nodes:      p.Servers,
 		OneWayLat:  p.OneWayNet(),

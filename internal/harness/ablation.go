@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/recovery"
+	"repro/internal/sweep"
 	"repro/internal/ycsb"
 )
 
@@ -29,36 +30,34 @@ type AblationResult struct {
 // Ablations runs both ablations for a representative strict and a
 // representative weak model.
 func Ablations(o Options) (*AblationResult, error) {
-	res := &AblationResult{}
 	models := []core.Model{
 		core.Baseline,
 		{C: core.Causal, P: core.Synchronous},
 	}
-	for _, m := range models {
-		base, err := o.run(m, ycsb.WorkloadA)
-		if err != nil {
-			return nil, err
-		}
+	serial := o
+	serial.Params.SerialPropagation = true
+	nocoal := o
+	nocoal.Params.NoPersistCoalescing = true
 
-		serial := o
-		serial.Params.SerialPropagation = true
-		sr, err := serial.run(m, ycsb.WorkloadA)
-		if err != nil {
-			return nil, err
-		}
+	// Three cells per model: the paper's design, then each ablation.
+	var cells []cell
+	for _, m := range models {
+		cells = append(cells, cell{o, m, ycsb.WorkloadA},
+			cell{serial, m, ycsb.WorkloadA}, cell{nocoal, m, ycsb.WorkloadA})
+	}
+	rs, err := runCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AblationResult{}
+	for i, m := range models {
+		base, sr, nc := rs[3*i], rs[3*i+1], rs[3*i+2]
 		res.Rows = append(res.Rows, AblationRow{
 			Model: m, Name: "serial propagation",
 			BaseTp: base.Throughput(), AblTp: sr.Throughput(),
 			BaseWrNs: base.Summary.MeanWrite, AblWrNs: sr.Summary.MeanWrite,
-		})
-
-		nocoal := o
-		nocoal.Params.NoPersistCoalescing = true
-		nc, err := nocoal.run(m, ycsb.WorkloadA)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, AblationRow{
+		}, AblationRow{
 			Model: m, Name: "no persist coalescing",
 			BaseTp: base.Throughput(), AblTp: nc.Throughput(),
 			BaseWrNs: base.Summary.MeanWrite, AblWrNs: nc.Summary.MeanWrite,
@@ -108,19 +107,21 @@ func RecoveryTimes(o Options) (*RecoveryResult, error) {
 		{C: core.Causal, P: core.EventualP},
 		{C: core.Eventual, P: core.EventualP},
 	}
-	res := &RecoveryResult{}
-	for _, m := range models {
+	rows, err := sweep.Map(models, o.workers(), func(m core.Model) (RecoveryRow, error) {
 		rep, err := recovery.CrashAndRecover(o.config(m, ycsb.WorkloadA), crashAt, recovery.NewestVote)
 		if err != nil {
-			return nil, err
+			return RecoveryRow{}, err
 		}
-		res.Rows = append(res.Rows, RecoveryRow{
+		return RecoveryRow{
 			Model:         m,
 			Timing:        recovery.TimeRecoveryOf(rep.Cluster, rep.Recovered),
 			DivergentKeys: recovery.ImageDivergence(rep.Cluster),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &RecoveryResult{Rows: rows}, nil
 }
 
 // WriteText renders the recovery-time table.

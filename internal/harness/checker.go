@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/recovery"
+	"repro/internal/sweep"
 )
 
 // CheckerRow is one model's verified consistency properties.
@@ -37,13 +38,12 @@ func Checker(o Options) (*CheckerResult, error) {
 		{C: core.Eventual, P: core.Synchronous},
 		{C: core.Eventual, P: core.EventualP},
 	}
-	res := &CheckerResult{}
-	for _, m := range models {
+	rows, err := sweep.Map(models, o.workers(), func(m core.Model) (CheckerRow, error) {
 		cfg := o.config(m, o.workloadA())
 		cfg.TrackHistory = true
 		c, err := cluster.New(cfg)
 		if err != nil {
-			return nil, err
+			return CheckerRow{}, err
 		}
 		start := time.Now()
 		c.Start()
@@ -55,9 +55,12 @@ func Checker(o Options) (*CheckerResult, error) {
 		if lin.ReadsChecked > 0 {
 			rate = float64(lin.StaleReadViolations) / float64(lin.ReadsChecked)
 		}
-		res.Rows = append(res.Rows, CheckerRow{Model: m, Linear: lin, StaleRate: rate})
+		return CheckerRow{Model: m, Linear: lin, StaleRate: rate}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &CheckerResult{Rows: rows}, nil
 }
 
 // WriteText renders the verification table.

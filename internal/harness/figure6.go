@@ -53,25 +53,32 @@ func Figure6(o Options) (*Fig6Result, error) {
 	return figureMatrix(o, core.AllModels(), ycsb.WorkloadA)
 }
 
-// figureMatrix runs an arbitrary model list on one workload.
+// figureMatrix runs an arbitrary model list on one workload, spreading the
+// cells (plus the normalization baseline, when it is not in the list) across
+// cores.
 func figureMatrix(o Options, models []core.Model, w ycsb.Workload) (*Fig6Result, error) {
-	res := &Fig6Result{Cells: make(map[core.Model]*cluster.Result)}
+	hasBase := false
+	cells := make([]cell, 0, len(models)+1)
 	for _, m := range models {
-		r, err := o.run(m, w)
-		if err != nil {
-			return nil, fmt.Errorf("model %s: %w", m, err)
-		}
-		res.Cells[m] = r
+		hasBase = hasBase || m == core.Baseline
+		cells = append(cells, cell{o, m, w})
 	}
-	base, ok := res.Cells[core.Baseline]
-	if !ok {
-		r, err := o.run(core.Baseline, w)
-		if err != nil {
-			return nil, err
-		}
-		base = r
+	if !hasBase {
+		cells = append(cells, cell{o, core.Baseline, w})
 	}
-	res.Base = base
+	rs, err := runCells(o, cells)
+	if err != nil {
+		return nil, fmt.Errorf("figure matrix: %w", err)
+	}
+	res := &Fig6Result{Cells: make(map[core.Model]*cluster.Result, len(models))}
+	for i, m := range models {
+		res.Cells[m] = rs[i]
+	}
+	if hasBase {
+		res.Base = res.Cells[core.Baseline]
+	} else {
+		res.Base = rs[len(models)]
+	}
 	return res, nil
 }
 

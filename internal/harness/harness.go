@@ -13,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/params"
+	"repro/internal/sweep"
 	"repro/internal/ycsb"
 )
 
@@ -24,8 +25,15 @@ type Options struct {
 	WarmupNs  int64
 	MeasureNs int64
 
+	// Parallel is how many experiment cells run concurrently: 0 (the
+	// default) uses every available core, 1 runs sequentially. Each cell is
+	// an isolated deterministic simulation, so the setting never changes
+	// any number an experiment reports — only how long it takes.
+	Parallel int
+
 	// Progress, when non-nil, receives one line per completed cell so
-	// long sweeps are observable (ddpbench points it at stderr).
+	// long sweeps are observable (ddpbench points it at stderr). Lines are
+	// serialized across concurrent cells and appear in completion order.
 	Progress io.Writer
 }
 
@@ -61,14 +69,45 @@ func (o Options) config(m core.Model, w ycsb.Workload) cluster.Config {
 	}
 }
 
-// run executes one cell.
-func (o Options) run(m core.Model, w ycsb.Workload) (*cluster.Result, error) {
-	res, err := cluster.Run(o.config(m, w))
-	if err == nil && o.Progress != nil {
-		fmt.Fprintf(o.Progress, "  ran %-34s %-12s %8.2f Mops/s (%v wall)\n",
-			m, w.Name, res.Throughput()/1e6, res.WallTime.Round(time.Millisecond))
+// workers resolves the Parallel option to a concrete worker count.
+func (o Options) workers() int { return sweep.Workers(o.Parallel) }
+
+// progressLine prints the one-line completion record of a cell.
+func progressLine(w io.Writer, m core.Model, wl ycsb.Workload, r *cluster.Result) {
+	fmt.Fprintf(w, "  ran %-34s %-12s %8.2f Mops/s (%v wall)\n",
+		m, wl.Name, r.Throughput()/1e6, r.WallTime.Round(time.Millisecond))
+}
+
+// cell is one (options, model, workload) cluster run in an experiment grid.
+// Experiments enumerate their full grid up front and hand it to runCells, so
+// independent cells spread across cores.
+type cell struct {
+	o Options
+	m core.Model
+	w ycsb.Workload
+}
+
+// runCells executes the cells across parent.workers() goroutines and returns
+// their results in cell order. The first failing cell's error (by submission
+// order) is returned after in-flight cells drain.
+func runCells(parent Options, cells []cell) ([]*cluster.Result, error) {
+	scells := make([]sweep.Cell, len(cells))
+	for i := range cells {
+		c := cells[i]
+		scells[i] = sweep.Cell{Config: c.o.config(c.m, c.w)}
+		if parent.Progress != nil {
+			scells[i].OnDone = func(r *cluster.Result) { progressLine(parent.Progress, c.m, c.w, r) }
+		}
 	}
-	return res, err
+	rs := sweep.Run(scells, parent.workers())
+	out := make([]*cluster.Result, len(rs))
+	for i := range rs {
+		if rs[i].Err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", cells[i].m, cells[i].w.Name, rs[i].Err)
+		}
+		out[i] = rs[i].Res
+	}
+	return out, nil
 }
 
 // header prints an experiment banner.

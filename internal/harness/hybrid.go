@@ -27,32 +27,35 @@ type HybridResult struct {
 // flat Eventual cluster on a 6-node deployment.
 func Hybrid(o Options) (*HybridResult, error) {
 	o.Params.Servers = 6
-	res := &HybridResult{}
+	grouped := o
+	grouped.Params.Groups = 2
 
-	runRow := func(label string, m core.Model, groups int) error {
-		oo := o
-		oo.Params.Groups = groups
-		r, err := oo.run(m, ycsb.WorkloadA)
-		if err != nil {
-			return err
-		}
-		res.Rows = append(res.Rows, HybridRow{Label: label, Result: r})
-		return nil
+	rows := []struct {
+		label string
+		o     Options
+		m     core.Model
+	}{
+		{"flat <Linearizable, Synchronous>", o, core.Baseline},
+		{"hybrid Lin-local/Eventual-global, Synchronous", grouped, core.Baseline},
+		{"flat <Eventual, Synchronous>", o, core.Model{C: core.Eventual, P: core.Synchronous}},
 	}
-	if err := runRow("flat <Linearizable, Synchronous>", core.Baseline, 1); err != nil {
+	cells := make([]cell, len(rows))
+	for i, row := range rows {
+		cells[i] = cell{row.o, row.m, ycsb.WorkloadA}
+	}
+	rs, err := runCells(o, cells)
+	if err != nil {
 		return nil, err
 	}
-	if err := runRow("hybrid Lin-local/Eventual-global, Synchronous",
-		core.Baseline, 2); err != nil {
-		return nil, err
-	}
-	if err := runRow("flat <Eventual, Synchronous>",
-		core.Model{C: core.Eventual, P: core.Synchronous}, 1); err != nil {
-		return nil, err
-	}
-	base := res.Rows[0].Result.Throughput()
-	for i := range res.Rows {
-		res.Rows[i].Normalized = ratio(res.Rows[i].Result.Throughput(), base)
+
+	res := &HybridResult{}
+	base := rs[0].Throughput()
+	for i, row := range rows {
+		res.Rows = append(res.Rows, HybridRow{
+			Label:      row.label,
+			Result:     rs[i],
+			Normalized: ratio(rs[i].Throughput(), base),
+		})
 	}
 	return res, nil
 }

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFigure6ParallelMatchesSequential is the tentpole's correctness
+// guarantee: every experiment cell is an isolated deterministic simulation,
+// so running the grid across 8 workers must produce byte-identical output to
+// running it sequentially — text and CSV renderings both.
+func TestFigure6ParallelMatchesSequential(t *testing.T) {
+	render := func(parallel int) (text, csv string) {
+		o := DefaultOptions().Quick()
+		o.Parallel = parallel
+		f, err := Figure6(o)
+		if err != nil {
+			t.Fatalf("Figure6(parallel=%d): %v", parallel, err)
+		}
+		var tb, cb bytes.Buffer
+		f.WriteText(&tb)
+		if err := f.WriteCSV(&cb); err != nil {
+			t.Fatalf("WriteCSV(parallel=%d): %v", parallel, err)
+		}
+		return tb.String(), cb.String()
+	}
+
+	seqText, seqCSV := render(1)
+	parText, parCSV := render(8)
+	if parText != seqText {
+		t.Errorf("text output differs between workers=1 and workers=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqText, parText)
+	}
+	if parCSV != seqCSV {
+		t.Errorf("CSV output differs between workers=1 and workers=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqCSV, parCSV)
+	}
+}
+
+// TestProgressLinesCompleteUnderParallelism checks that concurrent cells
+// produce exactly one whole progress line each (the sweep scheduler
+// serializes OnDone callbacks).
+func TestProgressLinesCompleteUnderParallelism(t *testing.T) {
+	var buf bytes.Buffer
+	o := DefaultOptions().Quick()
+	o.Parallel = 8
+	o.Progress = &buf
+	if _, err := Table1(o); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(buf.Bytes(), "\n"), []byte("\n"))
+	if len(lines) != 3 {
+		t.Fatalf("progress lines = %d, want 3:\n%s", len(lines), buf.String())
+	}
+	for _, l := range lines {
+		if !bytes.HasPrefix(l, []byte("  ran ")) || !bytes.Contains(l, []byte("Mops/s")) {
+			t.Fatalf("malformed progress line %q", l)
+		}
+	}
+}

@@ -65,17 +65,32 @@ func (s *SweepResult) WriteText(w io.Writer) {
 	}
 }
 
-// sweep runs the model subset over a list of option variants.
-func sweep(title, note string, labels []string, opts []Options, w ycsb.Workload, baseIdx int) (*SweepResult, error) {
+// sweepPoint is one swept configuration: an option variant plus the
+// workload it runs.
+type sweepPoint struct {
+	o Options
+	w ycsb.Workload
+}
+
+// sweepGrid runs the sensitivity model subset over every swept point as one
+// flat cell grid, so all points' cells share the worker pool.
+func sweepGrid(parent Options, title, note string, labels []string, points []sweepPoint, baseIdx int) (*SweepResult, error) {
+	models := sweepModels()
+	cells := make([]cell, 0, len(points)*len(models))
+	for _, pt := range points {
+		for _, m := range models {
+			cells = append(cells, cell{pt.o, m, pt.w})
+		}
+	}
+	rs, err := runCells(parent, cells)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", title, err)
+	}
 	res := &SweepResult{Title: title, Note: note, Labels: labels}
-	for _, o := range opts {
-		point := make(map[core.Model]*cluster.Result)
-		for _, m := range sweepModels() {
-			r, err := o.run(m, w)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s: %w", title, m, err)
-			}
-			point[m] = r
+	for i := range points {
+		point := make(map[core.Model]*cluster.Result, len(models))
+		for j, m := range models {
+			point[m] = rs[i*len(models)+j]
 		}
 		res.Points = append(res.Points, point)
 	}
@@ -90,7 +105,7 @@ func sweep(title, note string, labels []string, opts []Options, w ycsb.Workload,
 func Figure7(o Options) (*SweepResult, error) {
 	counts := []int{10, 100, 150}
 	var labels []string
-	var opts []Options
+	var points []sweepPoint
 	for _, n := range counts {
 		oo := o
 		oo.Params.ClientsPerServer = max(1, n/oo.Params.Servers)
@@ -99,28 +114,27 @@ func Figure7(o Options) (*SweepResult, error) {
 		// of requests outstanding.
 		oo.Params.ClientWindow = 16
 		labels = append(labels, fmt.Sprintf("%d-clients", n))
-		opts = append(opts, oo)
+		points = append(points, sweepPoint{oo, ycsb.WorkloadA})
 	}
-	res, err := sweep("Figure 7: Sensitivity to the number of clients",
+	res, err := sweepGrid(o, "Figure 7: Sensitivity to the number of clients",
 		"Throughput normalized to <Linearizable, Synchronous> at 100 clients.",
-		labels, opts, ycsb.WorkloadA, 1)
+		labels, points, 1)
 	if err != nil {
 		return nil, err
 	}
 
 	// The accompanying Transactional-conflict observation.
 	xact := core.Model{C: core.Transactional, P: core.Synchronous}
-	var rates []float64
-	for _, oo := range []Options{opts[0], opts[1]} {
-		r, err := oo.run(xact, ycsb.WorkloadA)
-		if err != nil {
-			return nil, err
-		}
-		rates = append(rates, r.Protocol.TxnConflictRate())
+	xr, err := runCells(o, []cell{
+		{points[0].o, xact, ycsb.WorkloadA},
+		{points[1].o, xact, ycsb.WorkloadA},
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.Extra = append(res.Extra, fmt.Sprintf(
 		"Transactional conflict rate: %.1f%% at 10 clients vs %.1f%% at 100 clients (paper: ~halves at 10)",
-		rates[0]*100, rates[1]*100))
+		xr[0].Protocol.TxnConflictRate()*100, xr[1].Protocol.TxnConflictRate()*100))
 	return res, nil
 }
 
@@ -130,16 +144,16 @@ func Figure7(o Options) (*SweepResult, error) {
 func Figure8(o Options) (*SweepResult, error) {
 	rts := []int64{500, 1000, 2000}
 	var labels []string
-	var opts []Options
+	var points []sweepPoint
 	for _, rt := range rts {
 		oo := o
 		oo.Params.NetRoundTrip = rt
 		labels = append(labels, fmt.Sprintf("%.1fus", float64(rt)/1000))
-		opts = append(opts, oo)
+		points = append(points, sweepPoint{oo, ycsb.WorkloadA})
 	}
-	return sweep("Figure 8: Sensitivity to NIC-to-NIC round-trip latency",
+	return sweepGrid(o, "Figure 8: Sensitivity to NIC-to-NIC round-trip latency",
 		"Throughput normalized to <Linearizable, Synchronous> at 1us.",
-		labels, opts, ycsb.WorkloadA, 1)
+		labels, points, 1)
 }
 
 // Figure9 sweeps the read/write mix: workload-B (95% reads), workload-A
@@ -148,27 +162,14 @@ func Figure8(o Options) (*SweepResult, error) {
 func Figure9(o Options) (*SweepResult, error) {
 	wls := []ycsb.Workload{ycsb.WorkloadB, ycsb.WorkloadA, ycsb.WorkloadW}
 	var labels []string
+	var points []sweepPoint
 	for _, wl := range wls {
 		labels = append(labels, wl.Name)
+		points = append(points, sweepPoint{o, wl})
 	}
-	res := &SweepResult{
-		Title:  "Figure 9: Sensitivity to the read/write mix",
-		Note:   "Throughput normalized to <Linearizable, Synchronous> on workload-A.",
-		Labels: labels,
-	}
-	for _, wl := range wls {
-		point := make(map[core.Model]*cluster.Result)
-		for _, m := range sweepModels() {
-			r, err := o.run(m, wl)
-			if err != nil {
-				return nil, err
-			}
-			point[m] = r
-		}
-		res.Points = append(res.Points, point)
-	}
-	res.BaseTp = res.Points[1][core.Baseline].Throughput()
-	return res, nil
+	return sweepGrid(o, "Figure 9: Sensitivity to the read/write mix",
+		"Throughput normalized to <Linearizable, Synchronous> on workload-A.",
+		labels, points, 1)
 }
 
 func max(a, b int) int {

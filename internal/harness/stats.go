@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/params"
 	"repro/internal/recovery"
+	"repro/internal/sweep"
 	"repro/internal/ycsb"
 )
 
@@ -50,43 +51,33 @@ func maxf(a int, b int) int {
 
 // PaperStats measures Section 8.1.2's headline numbers.
 func PaperStats(o Options) (*PaperStatsResult, error) {
-	res := &PaperStatsResult{}
+	models := []core.Model{
+		core.Baseline,
+		{C: core.Eventual, P: core.EventualP},
+		{C: core.ReadEnforcedC, P: core.ReadEnforcedP},
+		{C: core.Causal, P: core.Synchronous},
+		{C: core.Causal, P: core.EventualP},
+		{C: core.Transactional, P: core.Synchronous},
+	}
+	cells := make([]cell, len(models))
+	for i, m := range models {
+		cells[i] = cell{o, m, ycsb.WorkloadA}
+	}
+	rs, err := runCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	base, evev, rere, csync, cev, xact := rs[0], rs[1], rs[2], rs[3], rs[4], rs[5]
 
-	base, err := o.run(core.Baseline, ycsb.WorkloadA)
-	if err != nil {
-		return nil, err
-	}
-	evev, err := o.run(core.Model{C: core.Eventual, P: core.EventualP}, ycsb.WorkloadA)
-	if err != nil {
-		return nil, err
-	}
-	res.EvEvSpeedup = ratio(evev.Throughput(), base.Throughput())
-
-	rere, err := o.run(core.Model{C: core.ReadEnforcedC, P: core.ReadEnforcedP}, ycsb.WorkloadA)
-	if err != nil {
-		return nil, err
-	}
-	res.REREReadConflictRate = rere.Protocol.ReadConflictRate()
-
-	csync, err := o.run(core.Model{C: core.Causal, P: core.Synchronous}, ycsb.WorkloadA)
-	if err != nil {
-		return nil, err
-	}
-	cev, err := o.run(core.Model{C: core.Causal, P: core.EventualP}, ycsb.WorkloadA)
-	if err != nil {
-		return nil, err
-	}
-	res.CausalSyncBufferMean = csync.Protocol.MeanBuffered()
-	res.CausalEventualBufferMean = cev.Protocol.MeanBuffered()
-	res.CausalSyncBufferPeak = csync.Protocol.BufferPeak
-	res.CausalEventualBufferPeak = cev.Protocol.BufferPeak
-
-	xact, err := o.run(core.Model{C: core.Transactional, P: core.Synchronous}, ycsb.WorkloadA)
-	if err != nil {
-		return nil, err
-	}
-	res.XactConflictRate = xact.Protocol.TxnConflictRate()
-	return res, nil
+	return &PaperStatsResult{
+		EvEvSpeedup:              ratio(evev.Throughput(), base.Throughput()),
+		REREReadConflictRate:     rere.Protocol.ReadConflictRate(),
+		CausalSyncBufferMean:     csync.Protocol.MeanBuffered(),
+		CausalEventualBufferMean: cev.Protocol.MeanBuffered(),
+		CausalSyncBufferPeak:     csync.Protocol.BufferPeak,
+		CausalEventualBufferPeak: cev.Protocol.BufferPeak,
+		XactConflictRate:         xact.Protocol.TxnConflictRate(),
+	}, nil
 }
 
 // WriteText renders the Section 8.1.2 observations.
@@ -140,18 +131,17 @@ type DurabilityResult struct {
 // what survived (Section 3's data-loss motivation, measured).
 func DurabilityAudit(o Options) (*DurabilityResult, error) {
 	crashAt := o.WarmupNs + o.MeasureNs/2
-	res := &DurabilityResult{}
-	for _, m := range core.AllModels() {
+	rows, err := sweep.Map(core.AllModels(), o.workers(), func(m core.Model) (DurabilityRow, error) {
 		rep, err := recovery.CrashAndRecover(o.config(m, ycsb.WorkloadA), crashAt, recovery.NewestVote)
 		if err != nil {
-			return nil, err
+			return DurabilityRow{}, err
 		}
 		a := rep.Audit
 		rate := 0.0
 		if a.AckedWrites > 0 {
 			rate = float64(a.LostAcked) / float64(a.AckedWrites)
 		}
-		res.Rows = append(res.Rows, DurabilityRow{
+		return DurabilityRow{
 			Model:       m,
 			AckedWrites: a.AckedWrites,
 			LostAcked:   a.LostAcked,
@@ -159,9 +149,12 @@ func DurabilityAudit(o Options) (*DurabilityResult, error) {
 			Recovered:   rep.Recovered.Keys(),
 			Monotonic:   rep.MonotonicReads(),
 			NonStale:    rep.NonStaleReads(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &DurabilityResult{Rows: rows}, nil
 }
 
 // WriteText renders the audit.

@@ -49,17 +49,18 @@ func Table1(o Options) (*Table1Result, error) {
 		{false, false, core.Model{C: core.Eventual, P: core.EventualP}},
 	}
 
-	res := &Table1Result{}
-	var base float64
+	cells := make([]cell, len(envs))
 	for i, env := range envs {
-		r, err := o.run(env.m, writeOnly)
-		if err != nil {
-			return nil, err
-		}
-		tp := r.Throughput()
-		if i == 0 {
-			base = tp
-		}
+		cells[i] = cell{o, env.m, writeOnly}
+	}
+	rs, err := runCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{}
+	base := rs[0].Throughput()
+	for i, env := range envs {
+		tp := rs[i].Throughput()
 		res.Rows = append(res.Rows, Table1Row{
 			VolatileInCritPath: env.vol,
 			NVMInCritPath:      env.nvm,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/recovery"
+	"repro/internal/sweep"
 )
 
 // Table4Row pairs the paper's qualitative ratings with this
@@ -30,27 +31,39 @@ type Table4Result struct {
 // monotonic/non-stale verdicts against the paper's columns.
 func Table4(o Options) (*Table4Result, error) {
 	crashAt := o.WarmupNs + o.MeasureNs/2
-	base, err := o.run(core.Baseline, o.workloadA())
+	traits := core.Table4()
+
+	// Performance cells: the normalization baseline plus one run per rated
+	// model, scheduled as one grid.
+	cells := make([]cell, 0, len(traits)+1)
+	cells = append(cells, cell{o, core.Baseline, o.workloadA()})
+	for _, tr := range traits {
+		cells = append(cells, cell{o, tr.Model, o.workloadA()})
+	}
+	rs, err := runCells(o, cells)
 	if err != nil {
 		return nil, err
 	}
+
+	// Crash cells: each CrashAndRecover builds its own isolated simulation,
+	// so they parallelize the same way plain cluster runs do.
+	reps, err := sweep.Map(traits, o.workers(), func(tr core.Traits) (*recovery.CrashReport, error) {
+		return recovery.CrashAndRecover(o.config(tr.Model, o.workloadA()), crashAt, recovery.NewestVote)
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Table4Result{}
-	for _, tr := range core.Table4() {
-		rep, err := recovery.CrashAndRecover(o.config(tr.Model, o.workloadA()), crashAt, recovery.NewestVote)
-		if err != nil {
-			return nil, err
-		}
-		perf, err := o.run(tr.Model, o.workloadA())
-		if err != nil {
-			return nil, err
-		}
+	for i, tr := range traits {
+		rep := reps[i]
 		res.Rows = append(res.Rows, Table4Row{
 			Traits:            tr,
 			AckedWrites:       rep.Audit.AckedWrites,
 			LostAcked:         rep.Audit.LostAcked,
 			MeasuredMonotonic: rep.MonotonicReads(),
 			MeasuredNonStale:  rep.NonStaleReads(),
-			ThroughputNorm:    ratio(perf.Throughput(), base.Throughput()),
+			ThroughputNorm:    ratio(rs[i+1].Throughput(), rs[0].Throughput()),
 		})
 	}
 	return res, nil

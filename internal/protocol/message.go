@@ -80,6 +80,23 @@ type payload struct {
 	Chain   bool      // serially-propagated (SerialPropagation ablation)
 }
 
+// payloadChunk is how many payloads one slab block amortizes (see boxPayload).
+const payloadChunk = 64
+
+// boxPayload copies p into a chunked slab and returns its address to carry
+// in simnet.Message.Payload. Boxing a pointer into the interface is
+// allocation-free, so this replaces one heap allocation per message (boxing
+// the ~80-byte payload value) with one slab allocation per payloadChunk
+// messages. Full chunks are abandoned to the GC once their in-flight
+// messages deliver, so live memory stays bounded by in-flight traffic.
+func (r *Replica) boxPayload(p payload) *payload {
+	if len(r.slab) == cap(r.slab) {
+		r.slab = make([]payload, 0, payloadChunk)
+	}
+	r.slab = append(r.slab, p)
+	return &r.slab[len(r.slab)-1]
+}
+
 // wireSize returns the modeled on-the-wire size of a message.
 func (r *Replica) wireSize(p payload) int {
 	size := r.p.MsgHeaderSize

@@ -141,7 +141,8 @@ type Replica struct {
 	scopeClosed  map[uint64]bool
 	scopeOps     map[uint64]*scopeOp
 
-	sharedVal []byte // shared synthetic value payload (avoids allocation)
+	sharedVal []byte    // shared synthetic value payload (avoids allocation)
+	slab      []payload // chunked outgoing-payload storage (see boxPayload)
 	tracer    func(node int, what string)
 }
 
@@ -248,7 +249,7 @@ func (r *Replica) send(to int, p payload) {
 		To:      to,
 		Size:    r.wireSize(p),
 		Kind:    int(p.Kind),
-		Payload: p,
+		Payload: r.boxPayload(p),
 	})
 }
 
@@ -289,11 +290,12 @@ func (r *Replica) forwardChain(p payload) {
 func (r *Replica) broadcast(p payload) {
 	if r.p.Groups <= 1 {
 		r.trace("%s -> all", p.Kind)
+		// One boxed payload serves every copy: Broadcast shares the pointer.
 		r.net.Broadcast(simnet.Message{
 			From:    r.id,
 			Size:    r.wireSize(p),
 			Kind:    int(p.Kind),
-			Payload: p,
+			Payload: r.boxPayload(p),
 		}, -1)
 		return
 	}
@@ -320,7 +322,7 @@ func (r *Replica) broadcastRemoteGroups(p payload) {
 // onMessage is the network receive entry point: it charges a worker for the
 // handling cost, then dispatches.
 func (r *Replica) onMessage(m simnet.Message) {
-	p := m.Payload.(payload)
+	p := *m.Payload.(*payload)
 	service := r.p.MessageHandle
 	if p.Kind == MsgINV || p.Kind == MsgUPD {
 		service += r.mem.DDIOFillLatency()

@@ -50,6 +50,19 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Pending returns the number of scheduled-but-unexecuted events.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// Reserve grows the event heap's backing array so at least n events can be
+// pending without reallocation. Cluster setup calls it once with the
+// expected in-flight event count, so the hot scheduling path never pays for
+// incremental heap growth.
+func (e *Engine) Reserve(n int) {
+	if cap(e.events) >= n {
+		return
+	}
+	grown := make([]event, len(e.events), n)
+	copy(grown, e.events)
+	e.events = grown
+}
+
 // Schedule runs fn after delay nanoseconds of simulated time.
 // A negative delay is treated as zero (run at the current time, after any
 // events already scheduled for it).

@@ -7,6 +7,10 @@
 // receive path, and is then handed to b's receive handler. Broadcasts place
 // one serialization per destination, matching the paper's
 // "coordinator broadcasts to all followers" design.
+//
+// Send and delivery are the hottest simulated path in every experiment, so
+// the per-message state is pooled: a steady-state send+deliver cycle
+// performs no heap allocation (see TestSendDeliverAllocs).
 package simnet
 
 import (
@@ -19,11 +23,13 @@ import (
 type Handler func(msg Message)
 
 // Message is an opaque protocol message with routing and accounting fields.
+// Payload should be a pointer (or small value): boxing a pointer into the
+// interface is allocation-free, which keeps the send path lean.
 type Message struct {
 	From    int
 	To      int
 	Size    int // bytes on the wire, including header
-	Kind    int // protocol-defined tag, carried for tracing/accounting
+	Kind    int // protocol-defined tag >= 0, carried for tracing/accounting
 	Payload interface{}
 	SentAt  int64
 }
@@ -38,6 +44,23 @@ type Config struct {
 	Seed       uint64
 }
 
+// Validate reports the first configuration error, if any.
+func (cfg Config) Validate() error {
+	switch {
+	case cfg.Nodes < 1:
+		return fmt.Errorf("simnet: Nodes must be >= 1, got %d", cfg.Nodes)
+	case cfg.Bandwidth <= 0:
+		return fmt.Errorf("simnet: Bandwidth must be positive bits/s, got %d", cfg.Bandwidth)
+	case cfg.OneWayLat < 0:
+		return fmt.Errorf("simnet: OneWayLat must be >= 0 ns, got %d", cfg.OneWayLat)
+	case cfg.Jitter < 0:
+		return fmt.Errorf("simnet: Jitter must be >= 0 ns, got %d", cfg.Jitter)
+	case cfg.QueuePairs < 0:
+		return fmt.Errorf("simnet: QueuePairs must be >= 0, got %d", cfg.QueuePairs)
+	}
+	return nil
+}
+
 // Per-(src,dst) FIFO is guaranteed even with jitter: an early jittered
 // arrival is clamped behind its predecessor's arrival (reliable-connection
 // ordering), while cross-source interleavings at a destination are decided
@@ -50,29 +73,26 @@ type Network struct {
 	rng      *sim.RNG
 	handlers []Handler
 
-	txFree     []int64   // per-node NIC transmit next-free time
-	rxFree     []int64   // per-node NIC receive next-free time
-	inFlight   []int     // per-node queue-pair occupancy
-	lastArrive [][]int64 // per-(src,dst) last arrival, enforcing pair FIFO
+	txFree     []int64 // per-node NIC transmit next-free time
+	rxFree     []int64 // per-node NIC receive next-free time
+	inFlight   []int   // per-node queue-pair occupancy
+	lastArrive []int64 // flat [src*Nodes+dst] last arrival, enforcing pair FIFO
+
+	free []*delivery // recycled in-flight records (single-goroutine engine)
 
 	msgs     uint64
 	bytes    uint64
-	byKind   map[int]uint64
+	byKind   []uint64 // per-kind message counts, indexed by Message.Kind
 	dropped  uint64
 	sumDelay int64
 }
 
-// New creates a network. Config.Nodes must be >= 1.
+// New creates a network. Invalid configurations panic with the descriptive
+// Config.Validate error: simulation wiring is a programming error, and every
+// field is checked the same way.
 func New(eng *sim.Engine, cfg Config) *Network {
-	if cfg.Nodes < 1 {
-		panic(fmt.Sprintf("simnet: need >= 1 node, got %d", cfg.Nodes))
-	}
-	if cfg.Bandwidth <= 0 {
-		panic("simnet: bandwidth must be positive")
-	}
-	la := make([][]int64, cfg.Nodes)
-	for i := range la {
-		la[i] = make([]int64, cfg.Nodes)
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	return &Network{
 		eng:        eng,
@@ -82,8 +102,8 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		txFree:     make([]int64, cfg.Nodes),
 		rxFree:     make([]int64, cfg.Nodes),
 		inFlight:   make([]int, cfg.Nodes),
-		lastArrive: la,
-		byKind:     make(map[int]uint64),
+		lastArrive: make([]int64, cfg.Nodes*cfg.Nodes),
+		byKind:     make([]uint64, 16),
 	}
 }
 
@@ -102,6 +122,66 @@ func (n *Network) serialization(size int) int64 {
 	return ns
 }
 
+// delivery carries one in-flight message through its two scheduled hops:
+// arrival at the destination NIC, then handler dispatch after receive-side
+// serialization. Records — and the event closures bound to them — are pooled
+// per network so the steady-state send path allocates nothing.
+type delivery struct {
+	n         *Network
+	msg       Message
+	ser       int64
+	arriveFn  func() // d.arrive, bound once at creation and reused
+	deliverFn func() // d.deliver, bound once at creation and reused
+}
+
+// newDelivery pops a recycled record or creates one with its event closures
+// pre-bound.
+func (n *Network) newDelivery() *delivery {
+	if k := len(n.free); k > 0 {
+		d := n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+		return d
+	}
+	d := &delivery{n: n}
+	d.arriveFn = d.arrive
+	d.deliverFn = d.deliver
+	return d
+}
+
+// arrive runs when the message reaches the destination NIC: the receive-side
+// serialization queues in arrival order (cross-source interleavings at the
+// destination are decided by arrival, not send).
+func (d *delivery) arrive() {
+	n := d.n
+	rxStart := n.rxFree[d.msg.To]
+	if now := n.eng.Now(); rxStart < now {
+		rxStart = now
+	}
+	rxDone := rxStart + d.ser
+	n.rxFree[d.msg.To] = rxDone
+	n.eng.At(rxDone, d.deliverFn)
+}
+
+// deliver hands the message to the destination handler and recycles the
+// record. The record is returned to the pool before the handler runs, so
+// handler-triggered sends reuse it immediately.
+func (d *delivery) deliver() {
+	n := d.n
+	msg := d.msg
+	d.msg = Message{} // drop the payload reference before pooling
+	n.free = append(n.free, d)
+
+	n.inFlight[msg.From]--
+	n.sumDelay += n.eng.Now() - msg.SentAt
+	h := n.handlers[msg.To]
+	if h == nil {
+		n.dropped++
+		return
+	}
+	h(msg)
+}
+
 // Send transmits msg; delivery invokes the destination handler. Sends to
 // self are delivered after a loopback cost of one serialization (no
 // propagation), which the protocols use for local client responses.
@@ -112,7 +192,14 @@ func (n *Network) Send(msg Message) {
 	msg.SentAt = n.eng.Now()
 	n.msgs++
 	n.bytes += uint64(msg.Size)
-	n.byKind[msg.Kind]++
+	if k := msg.Kind; k >= 0 {
+		if k >= len(n.byKind) {
+			grown := make([]uint64, k+1)
+			copy(grown, n.byKind)
+			n.byKind = grown
+		}
+		n.byKind[k]++
+	}
 
 	ser := n.serialization(msg.Size)
 
@@ -142,31 +229,16 @@ func (n *Network) Send(msg Message) {
 	arrive := txDone + lat
 	// Reliable-connection transports deliver in order per (src,dst) pair:
 	// clamp a jittered early arrival behind its predecessor.
-	if arrive < n.lastArrive[msg.From][msg.To] {
-		arrive = n.lastArrive[msg.From][msg.To]
+	la := &n.lastArrive[msg.From*n.cfg.Nodes+msg.To]
+	if arrive < *la {
+		arrive = *la
 	}
-	n.lastArrive[msg.From][msg.To] = arrive
+	*la = arrive
 
-	// Receive-side serialization queues in arrival order (cross-source
-	// interleavings at the destination are decided by arrival, not send).
-	n.eng.At(arrive, func() {
-		rxStart := n.rxFree[msg.To]
-		if now := n.eng.Now(); rxStart < now {
-			rxStart = now
-		}
-		rxDone := rxStart + ser
-		n.rxFree[msg.To] = rxDone
-		n.eng.At(rxDone, func() {
-			n.inFlight[msg.From]--
-			n.sumDelay += n.eng.Now() - msg.SentAt
-			h := n.handlers[msg.To]
-			if h == nil {
-				n.dropped++
-				return
-			}
-			h(msg)
-		})
-	})
+	d := n.newDelivery()
+	d.msg = msg
+	d.ser = ser
+	n.eng.At(arrive, d.arriveFn)
 }
 
 // Broadcast sends a copy of msg from its From node to every other node.
@@ -188,7 +260,12 @@ func (n *Network) Messages() uint64 { return n.msgs }
 func (n *Network) Bytes() uint64 { return n.bytes }
 
 // MessagesOfKind returns the per-kind message count.
-func (n *Network) MessagesOfKind(kind int) uint64 { return n.byKind[kind] }
+func (n *Network) MessagesOfKind(kind int) uint64 {
+	if kind < 0 || kind >= len(n.byKind) {
+		return 0
+	}
+	return n.byKind[kind]
+}
 
 // Dropped returns messages delivered to nodes with no handler.
 func (n *Network) Dropped() uint64 { return n.dropped }

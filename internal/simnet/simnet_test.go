@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/sim"
@@ -201,4 +202,119 @@ func TestPerPairFIFOProperty(t *testing.T) {
 			t.Fatalf("FIFO violated at %d: %v", i, got[:i+1])
 		}
 	}
+}
+
+func TestConfigValidateRejectsEachBadField(t *testing.T) {
+	good := netCfg(2)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"zero nodes", func(c *Config) { c.Nodes = 0 }, "Nodes"},
+		{"negative nodes", func(c *Config) { c.Nodes = -3 }, "Nodes"},
+		{"zero bandwidth", func(c *Config) { c.Bandwidth = 0 }, "Bandwidth"},
+		{"negative bandwidth", func(c *Config) { c.Bandwidth = -1 }, "Bandwidth"},
+		{"negative latency", func(c *Config) { c.OneWayLat = -5 }, "OneWayLat"},
+		{"negative jitter", func(c *Config) { c.Jitter = -1 }, "Jitter"},
+		{"negative queue pairs", func(c *Config) { c.QueuePairs = -1 }, "QueuePairs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := good
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) || !strings.Contains(err.Error(), "simnet:") {
+				t.Fatalf("error %q does not describe the bad field %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNewPanicsConsistentlyOnInvalidConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{Nodes: 0, Bandwidth: 1_000_000_000},
+		{Nodes: 2, Bandwidth: 0},
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("New accepted invalid config %+v", cfg)
+				}
+				// Both invalid fields panic with the descriptive Validate
+				// error, not a bare string.
+				if _, ok := r.(error); !ok {
+					t.Fatalf("panic value %T is not the Validate error", r)
+				}
+			}()
+			New(sim.New(), cfg)
+		}()
+	}
+}
+
+// TestSendDeliverAllocs locks in the tentpole's allocation reduction: after
+// warmup, a unicast send+deliver cycle performs zero heap allocations —
+// delivery records are pooled, per-pair FIFO state is a flat slice, and kind
+// accounting is an indexed slice instead of a map.
+func TestSendDeliverAllocs(t *testing.T) {
+	e := sim.New()
+	e.Reserve(64)
+	n := New(e, netCfg(2))
+	n.Register(1, func(Message) {})
+	// Warm the delivery pool and the kind table.
+	n.Send(Message{From: 0, To: 1, Size: 128, Kind: 5})
+	e.RunAll()
+	allocs := testing.AllocsPerRun(500, func() {
+		n.Send(Message{From: 0, To: 1, Size: 128, Kind: 5})
+		e.RunAll()
+	})
+	if allocs > 0 {
+		t.Fatalf("send+deliver allocated %.2f per message, want 0", allocs)
+	}
+}
+
+// BenchmarkNetworkSend measures the full send+deliver hot path every
+// protocol message rides on. Run with -benchmem: steady state is 0 allocs/op.
+func BenchmarkNetworkSend(b *testing.B) {
+	e := sim.New()
+	e.Reserve(4096)
+	n := New(e, netCfg(4))
+	for i := 0; i < 4; i++ {
+		n.Register(i, func(Message) {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(Message{From: i % 4, To: (i + 1) % 4, Size: 192, Kind: i % 8})
+		if e.Pending() >= 1024 {
+			e.RunAll()
+		}
+	}
+	e.RunAll()
+}
+
+// BenchmarkNetworkBroadcast measures the coordinator's INV/VAL fan-out shape.
+func BenchmarkNetworkBroadcast(b *testing.B) {
+	e := sim.New()
+	e.Reserve(8192)
+	n := New(e, netCfg(5))
+	for i := 0; i < 5; i++ {
+		n.Register(i, func(Message) {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Broadcast(Message{From: i % 5, Size: 192, Kind: 0}, -1)
+		if e.Pending() >= 2048 {
+			e.RunAll()
+		}
+	}
+	e.RunAll()
 }
