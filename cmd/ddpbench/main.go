@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	ddpbench -exp table1|table4|table5|fig6|fig7|fig8|fig9|stats|durability|ablation|recovery|timelines|hybrid|checker|models|all [-quick]
+//	ddpbench -exp table1|table4|table5|fig6|fig7|fig8|fig9|stats|durability|ablation|recovery|timelines|hybrid|checker|models|bindings|all [-quick]
 package main
 
 import (
@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, table4, table5, fig6, fig7, fig8, fig9, stats, durability, ablation, recovery, timelines, hybrid, checker, models, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, table4, table5, fig6, fig7, fig8, fig9, stats, durability, ablation, recovery, timelines, hybrid, checker, models, bindings, all")
 	quick := flag.Bool("quick", false, "shrink the cluster and windows for a fast smoke run")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	engine := flag.String("engine", "", "kv engine: hashtable, map, btree, bplustree, memcache, walstore (default hashtable)")

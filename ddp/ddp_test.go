@@ -164,3 +164,62 @@ func TestVerifyFacade(t *testing.T) {
 		t.Fatal("eventual run showed no stale reads")
 	}
 }
+
+func TestRegisterModelRunsLikeItsImpl(t *testing.T) {
+	m, err := RegisterModel("test-causal-lazy", Causal, EventualPersistency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "test-causal-lazy" {
+		t.Fatalf("custom model renders %q", m)
+	}
+	custom, err := Run(quickConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := Run(quickConfig(Model{Consistency: Causal, Persistency: EventualPersistency}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if custom.Ops != canon.Ops || custom.MeanReadNs != canon.MeanReadNs ||
+		custom.MeanWriteNs != canon.MeanWriteNs || custom.Persists != canon.Persists {
+		t.Fatalf("custom binding diverged from its implementation pair:\ncustom: %+v\ncanon:  %+v", custom, canon)
+	}
+	found := false
+	for _, rm := range RegisteredModels() {
+		if rm == m {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("RegisteredModels is missing the custom binding")
+	}
+	parsed, err := ParseModel("test-causal-lazy")
+	if err != nil || parsed != m {
+		t.Fatalf("ParseModel(custom name) = %v, %v", parsed, err)
+	}
+}
+
+func TestRegisterModelTransactionalAndScoped(t *testing.T) {
+	// Transactional consistency and Scope persistency exercise the client's
+	// registry-resolved behavior switches (transaction grouping, scope
+	// barriers), not just the protocol layer.
+	m, err := RegisterModel("test-txn-scoped", Transactional, Scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom, err := Run(quickConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := Run(quickConfig(Model{Consistency: Transactional, Persistency: Scope}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if custom.Ops != canon.Ops || custom.Persists != canon.Persists {
+		t.Fatalf("custom <Transactional, Scope> diverged:\ncustom: %+v\ncanon:  %+v", custom, canon)
+	}
+	if custom.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+}

@@ -55,14 +55,20 @@ func (c *client) start() { c.next() }
 // scope and drain at its barrier.
 func (c *client) window() int {
 	w := c.cl.Cfg.Params.ClientWindow
-	if w < 2 || c.cl.Cfg.Model.C == core.Transactional {
+	if w < 2 || c.transactional() {
 		return 1
 	}
 	return w
 }
 
+// transactional reports whether operations group into transactions in this
+// run. Custom bindings resolve through the registry to their implementation.
+func (c *client) transactional() bool {
+	return core.ImplOf(c.cl.Cfg.Model).C == core.Transactional
+}
+
 // scoped reports whether writes carry persist scopes in this run.
-func (c *client) scoped() bool { return c.cl.Cfg.Model.P == core.Scope }
+func (c *client) scoped() bool { return core.ImplOf(c.cl.Cfg.Model).P == core.Scope }
 
 // curScope returns this client's current scope id (globally unique, nonzero).
 func (c *client) curScope() uint64 {
@@ -84,7 +90,7 @@ func (c *client) next() {
 		c.persistScope(c.next)
 		return
 	}
-	if c.cl.Cfg.Model.C == core.Transactional {
+	if c.transactional() {
 		c.startTxn()
 		return
 	}

@@ -45,6 +45,10 @@ func (c Consistency) String() string {
 	case Eventual:
 		return "Eventual"
 	default:
+		// Custom binding codes render as their implementing model.
+		if ic := implC(c); ic != c {
+			return ic.String()
+		}
 		return fmt.Sprintf("Consistency(%d)", int(c))
 	}
 }
@@ -80,6 +84,10 @@ func (p Persistency) String() string {
 	case EventualP:
 		return "Eventual"
 	default:
+		// Custom binding codes render as their implementing model.
+		if ip := implP(p); ip != p {
+			return ip.String()
+		}
 		return fmt.Sprintf("Persistency(%d)", int(p))
 	}
 }
@@ -91,8 +99,14 @@ type Model struct {
 	P Persistency
 }
 
-// String renders the paper's <C, P> notation.
+// String renders the paper's <C, P> notation; custom bindings render their
+// registered name.
 func (m Model) String() string {
+	if m.C >= customBase {
+		if name, ok := customName(m); ok {
+			return name
+		}
+	}
 	return fmt.Sprintf("<%s, %s>", m.C, m.P)
 }
 
@@ -112,8 +126,12 @@ func AllModels() []Model {
 var Baseline = Model{C: Linearizable, P: Synchronous}
 
 // ParseModel accepts "<Causal, Synchronous>", "Causal,Synchronous" or
-// "causal/synchronous" style names.
+// "causal/synchronous" style names, plus the name of any registered custom
+// binding.
 func ParseModel(s string) (Model, error) {
+	if m, ok := lookupName(strings.TrimSpace(s)); ok {
+		return m, nil
+	}
 	t := strings.NewReplacer("<", "", ">", "", " ", "").Replace(s)
 	t = strings.ReplaceAll(t, "/", ",")
 	parts := strings.Split(t, ",")
@@ -205,8 +223,9 @@ func DPDescription(p Persistency) string {
 
 // UsesInvAckVal reports whether the consistency model runs the
 // INV/ACK/VAL broadcast protocol (strong models) rather than lazy UPDs.
+// Custom binding codes resolve through their registered implementation.
 func UsesInvAckVal(c Consistency) bool {
-	switch c {
+	switch implC(c) {
 	case Linearizable, ReadEnforcedC, Transactional:
 		return true
 	}
@@ -214,4 +233,4 @@ func UsesInvAckVal(c Consistency) bool {
 }
 
 // CarriesCausalHistory reports whether UPD messages carry a cauhist.
-func CarriesCausalHistory(c Consistency) bool { return c == Causal }
+func CarriesCausalHistory(c Consistency) bool { return implC(c) == Causal }

@@ -48,9 +48,10 @@ type Fig6Result struct {
 	Base  *cluster.Result
 }
 
-// Figure6 runs the 5x5 matrix on YCSB-A.
+// Figure6 runs the 5x5 matrix on YCSB-A, plus any custom bindings
+// registered via core.Register (ddp.RegisterModel).
 func Figure6(o Options) (*Fig6Result, error) {
-	return figureMatrix(o, core.AllModels(), ycsb.WorkloadA)
+	return figureMatrix(o, core.RegisteredModels(), ycsb.WorkloadA)
 }
 
 // figureMatrix runs an arbitrary model list on one workload, spreading the
@@ -129,6 +130,16 @@ func (f *Fig6Result) WriteText(w io.Writer) {
 				fmt.Fprintf(w, " %12.2f", f.Normalized(core.Model{C: c, P: p}, metric))
 			}
 			fmt.Fprintln(w)
+		}
+		// Custom bindings occupy one cell each; they print after the grid.
+		for _, b := range core.Bindings() {
+			if !b.Custom() {
+				continue
+			}
+			if _, ok := f.Cells[b.Model]; !ok {
+				continue
+			}
+			fmt.Fprintf(w, "%-14s %12.2f\n", b.Name, f.Normalized(b.Model, metric))
 		}
 	}
 }

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden 5x5 fixtures")
+
+// renderGolden produces the canonical 5x5 determinism fixture: the full
+// Figure 6 matrix (text and CSV renderings) plus Table 1, all at Quick scale.
+// Every cell is an isolated deterministic simulation (seeded RNG, simulated
+// time only), so the rendering is bit-stable across machines and worker
+// counts — the same property TestFigure6ParallelMatchesSequential relies on.
+func renderGolden(t *testing.T) []byte {
+	t.Helper()
+	o := DefaultOptions().Quick()
+	o.Parallel = 4
+
+	var buf bytes.Buffer
+	f, err := Figure6(o)
+	if err != nil {
+		t.Fatalf("Figure6: %v", err)
+	}
+	f.WriteText(&buf)
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	t1, err := Table1(o)
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	t1.WriteText(&buf)
+	return buf.Bytes()
+}
+
+// TestGolden5x5ByteIdentical asserts that all 25 <consistency, persistency>
+// cells produce byte-identical experiment output versus the committed
+// fixture. The fixture was generated before the policy-layer refactor, so
+// this test is the refactor's equivalence proof: resolving each model to a
+// (VisibilityPolicy, DurabilityPolicy) pair must not move a single event in
+// any simulation. Regenerate with: go test ./internal/harness -run Golden -update
+func TestGolden5x5ByteIdentical(t *testing.T) {
+	got := renderGolden(t)
+	path := filepath.Join("testdata", "golden_5x5.txt")
+
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("5x5 output diverged from the golden fixture (%d bytes vs %d).\n--- got ---\n%s\n--- want ---\n%s",
+			len(got), len(want), got, want)
+	}
+}

@@ -91,6 +91,8 @@ func RunNamed(w io.Writer, name string, o Options) error {
 		ch.WriteText(w)
 	case "models":
 		WriteModelReference(w)
+	case "bindings":
+		WriteBindings(w)
 	case "all":
 		for _, e := range []string{"table1", "table5", "fig6", "fig7", "fig8", "fig9", "stats", "table4", "durability", "ablation", "recovery", "timelines", "hybrid", "checker", "models"} {
 			if err := RunNamed(w, e, o); err != nil {

@@ -131,7 +131,7 @@ type DurabilityResult struct {
 // what survived (Section 3's data-loss motivation, measured).
 func DurabilityAudit(o Options) (*DurabilityResult, error) {
 	crashAt := o.WarmupNs + o.MeasureNs/2
-	rows, err := sweep.Map(core.AllModels(), o.workers(), func(m core.Model) (DurabilityRow, error) {
+	rows, err := sweep.Map(core.RegisteredModels(), o.workers(), func(m core.Model) (DurabilityRow, error) {
 		rep, err := recovery.CrashAndRecover(o.config(m, ycsb.WorkloadA), crashAt, recovery.NewestVote)
 		if err != nil {
 			return DurabilityRow{}, err

@@ -31,3 +31,38 @@ func TestWriteHotPathAllocs(t *testing.T) {
 		t.Fatalf("write round allocated %.1f, want <= 62 (payload boxing or delivery pooling regressed?)", allocs)
 	}
 }
+
+// TestWeakWriteHotPathAllocs extends the steady-state allocation guard to
+// the UPD-based write paths. Ceilings sit just above the measured per-round
+// counts (Causal carries a cauhist clone per write; Synchronous persistency
+// adds persist callbacks), so a policy-dispatch or closure regression on the
+// weak paths fails immediately.
+func TestWeakWriteHotPathAllocs(t *testing.T) {
+	cases := []struct {
+		name    string
+		model   core.Model
+		ceiling float64
+	}{
+		{"causal-synchronous", mdl(core.Causal, core.Synchronous), 54},
+		{"causal-eventual", mdl(core.Causal, core.EventualP), 49},
+		{"eventual-synchronous", mdl(core.Eventual, core.Synchronous), 41},
+		{"eventual-eventual", mdl(core.Eventual, core.EventualP), 44},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tc := newTestCluster(c.model, 5, nil)
+			// Warm: populate key state, slab chunks, pools, and the event heap.
+			for i := 0; i < 64; i++ {
+				tc.eng.Schedule(0, func() { tc.reps[0].ClientWrite(7, 0, 0, func(Stamp) {}) })
+				tc.run()
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				tc.eng.Schedule(0, func() { tc.reps[0].ClientWrite(7, 0, 0, func(Stamp) {}) })
+				tc.run()
+			})
+			if allocs > c.ceiling {
+				t.Fatalf("weak write round allocated %.1f, want <= %.0f (policy hooks must not add steady-state allocations)", allocs, c.ceiling)
+			}
+		})
+	}
+}

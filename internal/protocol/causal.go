@@ -1,9 +1,51 @@
 package protocol
 
 import (
-	"repro/internal/core"
 	"repro/internal/vclock"
 )
+
+// causalVis implements Causal consistency: an update is visible with respect
+// to a node when the node has observed everything the update causally
+// depends on (Table 2). Writes complete locally and carry a cauhist vector;
+// followers apply through the reorder buffer below.
+type causalVis struct{}
+
+func (causalVis) usesInvAckVal() bool { return false }
+
+func (causalVis) dispatchWrite(r *Replica, key, scope, txn uint64, done func(Stamp)) {
+	r.weakWrite(key, scope, done)
+}
+
+func (causalVis) earlyWriteCompletion() bool { return false }
+
+// The strong-write hooks are unreachable — causal writes never run the
+// INV/ACK/VAL broadcast.
+func (causalVis) onStrongWriteLaunch(r *Replica, ks *keyState, key uint64, st Stamp, txn uint64) {
+}
+func (causalVis) onInvReceive(r *Replica, ks *keyState, from int, p payload) bool { return true }
+
+func (causalVis) readBlocked(r *Replica, ks *keyState) bool { return false }
+func (causalVis) servesCommitted() bool                     { return false }
+
+// causalHistory snapshots the write's happens-before history: everything
+// this node has applied, plus the write itself.
+func (causalVis) causalHistory(r *Replica) []uint64 {
+	r.issued++
+	vc := r.appliedVC.Clone()
+	vc[r.id] = r.issued
+	return vc
+}
+
+func (causalVis) propagateWeak(r *Replica, upd payload) { r.propagate(upd) }
+
+// onUpdate routes the UPD through the reorder buffer.
+func (causalVis) onUpdate(r *Replica, from int, p payload) {
+	r.causalDeliver(from, p)
+}
+
+// selfApply advances the applied vector for the coordinator's own write at
+// its visibility/durability point, draining dependents it unblocks.
+func (causalVis) selfApply(r *Replica) { r.advanceApplied(r.id) }
 
 // The causal reorder buffer is indexed, not scanned: every parked update is
 // filed under the first (node, count) dependency it is waiting for, and is
@@ -120,28 +162,7 @@ func (r *Replica) advanceApplied(node int) {
 // writes than Causal+Eventual (Section 8.1.2).
 func (r *Replica) causalApply(p payload) {
 	r.applyVisible(p.Key, p.Stamp)
-	src := p.Stamp.Node()
-	switch r.model.P {
-	case core.Synchronous:
-		r.persist(p.Key, p.Stamp, func() {
-			r.advanceApplied(src)
-		})
-	case core.Strict:
-		r.persist(p.Key, p.Stamp, func() {
-			r.advanceApplied(src)
-			r.send(src, payload{Kind: MsgACKp, Stamp: p.Stamp})
-		})
-	case core.ReadEnforcedP:
-		r.persist(p.Key, p.Stamp, nil)
-		r.advanceApplied(src)
-	case core.Scope:
-		r.deferScopePersist(p.Scope, p.Key, p.Stamp)
-		r.advanceApplied(src)
-	case core.EventualP:
-		key, st := p.Key, p.Stamp
-		r.eng.Schedule(r.p.LazyPersist, func() { r.persist(key, st, nil) })
-		r.advanceApplied(src)
-	}
+	r.dur.onCausalApply(r, p, p.Stamp.Node())
 }
 
 // AppliedVC exposes the applied vector for tests and recovery tooling.

@@ -10,6 +10,19 @@
 // (cauhist) vector clock attached under Causal consistency. Persistency
 // models insert persist points and, where needed, split ACK/VAL into _c
 // (consistency) and _p (persistency) variants — Table 3's message taxonomy.
+//
+// The package is organized as a policy layer over a model-agnostic replica
+// core. Each consistency model is a VisibilityPolicy (one file per model:
+// linearizable.go, readenforced_c.go, transactional.go, causal.go,
+// eventual_c.go) and each persistency model a DurabilityPolicy (strict.go,
+// synchronous.go, readenforced_p.go, scope.go, eventual_p.go); policy.go
+// defines the two interfaces, their hook contract, and the resolver that
+// binds a core.Model to its policy pair once at Replica construction.
+// Custom bindings registered via core.Register resolve onto the same
+// implementations. The remaining files are the plumbing the policies drive:
+// replica.go (state, messaging, persist coalescing, reads), write.go (write
+// rounds), causal.go (reorder buffer), txn.go (transaction lifecycle),
+// scanrmw.go (scans and read-modify-writes).
 package protocol
 
 import "repro/internal/vclock"

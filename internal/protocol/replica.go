@@ -108,6 +108,8 @@ type Replica struct {
 	eng   *sim.Engine
 	p     params.Params
 	model core.Model
+	vis   VisibilityPolicy // consistency dimension, resolved at construction
+	dur   DurabilityPolicy // persistency dimension, resolved at construction
 	net   *simnet.Network
 	work  *sim.Pool
 	mem   *memhier.Hierarchy
@@ -171,6 +173,7 @@ func NewReplica(id int, d Deps) *Replica {
 		sharedVal:    make([]byte, d.P.ValueSize),
 		tracer:       d.Trace,
 	}
+	r.vis, r.dur = resolvePolicies(d.Model)
 	d.Net.Register(id, r.onMessage)
 	return r
 }
@@ -525,7 +528,7 @@ func (r *Replica) ClientRead(key uint64, txn uint64, done func(Stamp)) {
 func (r *Replica) readAttempt(key uint64, start int64, stalled bool, done func(Stamp)) {
 	ks := &r.keys[key]
 
-	if r.consReadBlocked(ks) {
+	if r.vis.readBlocked(r, ks) {
 		if !stalled {
 			r.M.ReadStalls++
 			r.trace("RD k%d stalls", key)
@@ -533,7 +536,7 @@ func (r *Replica) readAttempt(key uint64, start int64, stalled bool, done func(S
 		ks.consWait = append(ks.consWait, func() { r.readAttempt(key, start, true, done) })
 		return
 	}
-	if r.persistReadBlocked(ks) {
+	if r.dur.readBlocked(r, ks) {
 		if !stalled {
 			r.M.ReadStalls++
 			r.trace("RD k%d stalls (persist)", key)
@@ -545,17 +548,12 @@ func (r *Replica) readAttempt(key uint64, start int64, stalled bool, done func(S
 	if stalled {
 		r.M.ReadStallTime += r.eng.Now() - start
 	}
-	// Perform the real engine lookup: Synchronous/Strict persistency under
-	// weak consistency serves the latest *persisted* version (Figure 2 e-h).
-	src := r.vol
-	if r.weakConsistency() && (r.model.P == core.Synchronous || r.model.P == core.Strict) {
-		src = r.img
-	}
+	// Perform the real engine lookup against the policy-selected image.
 	var ver Stamp
-	if it, ok := src.Get(key); ok {
+	if it, ok := r.readSource().Get(key); ok {
 		ver = Stamp(it.Version)
 	}
-	if r.model.C == core.Transactional {
+	if r.vis.servesCommitted() {
 		// Operations may only see the effects of transactions that have
 		// completed (Section 2.1): serve the latest committed version.
 		ver = ks.committed
@@ -569,32 +567,15 @@ func (r *Replica) readAttempt(key uint64, start int64, stalled bool, done func(S
 // weakConsistency reports whether the consistency model is Causal or
 // Eventual (no INV/ACK/VAL machinery).
 func (r *Replica) weakConsistency() bool {
-	return !core.UsesInvAckVal(r.model.C)
+	return !r.vis.usesInvAckVal()
 }
 
-// consReadBlocked implements the consistency-side read stalls:
-// Linearizable and Read-Enforced consistency block reads while any write to
-// the key is not yet validated; under Read-Enforced persistency validation
-// additionally requires VAL_p (Figure 3).
-func (r *Replica) consReadBlocked(ks *keyState) bool {
-	switch r.model.C {
-	case core.Linearizable, core.ReadEnforcedC:
-		if len(ks.transC) > 0 {
-			return true
-		}
-		if r.model.P == core.ReadEnforcedP && len(ks.transP) > 0 {
-			return true
-		}
+// readSource returns the engine image reads serve from: the volatile store,
+// or the NVM image when Synchronous/Strict persistency under weak
+// consistency makes only persisted versions readable (Figure 2 e-h).
+func (r *Replica) readSource() engines.Engine {
+	if r.dur.servesPersistedImage() {
+		return r.img
 	}
-	return false
-}
-
-// persistReadBlocked implements the persistency-side read stall: under weak
-// consistency with Read-Enforced persistency, a read waits until the
-// latest visible version is locally persisted (Figure 3 c-d).
-func (r *Replica) persistReadBlocked(ks *keyState) bool {
-	if r.model.P != core.ReadEnforcedP || !r.weakConsistency() {
-		return false
-	}
-	return ks.persisted < ks.visible
+	return r.vol
 }

@@ -1,7 +1,6 @@
 package protocol
 
 import (
-	"repro/internal/core"
 	"repro/internal/engines"
 )
 
@@ -35,10 +34,7 @@ func (r *Replica) ClientScan(start uint64, maxLen int, done func(count int)) {
 
 // scanEngine performs the real data-structure traversal.
 func (r *Replica) scanEngine(start uint64, maxLen int) int {
-	src := r.vol
-	if r.weakConsistency() && (r.model.P == core.Synchronous || r.model.P == core.Strict) {
-		src = r.img
-	}
+	src := r.readSource()
 	count := 0
 	if engines.Ordered(src.Name()) {
 		src.Range(func(k uint64, _ engines.Item) bool {
@@ -79,15 +75,7 @@ func (r *Replica) ClientRMW(key uint64, scope, txn uint64, done func(Stamp)) {
 				// local update.
 				release()
 				r.M.Writes++
-				if r.model.C == core.Transactional && txn != 0 {
-					r.txnWriteAttempt(key, scope, txn, r.eng.Now(), done)
-					return
-				}
-				if r.weakConsistency() {
-					r.weakWrite(key, scope, done)
-					return
-				}
-				r.strongWrite(key, scope, txn, done)
+				r.vis.dispatchWrite(r, key, scope, txn, done)
 			})
 		})
 	})

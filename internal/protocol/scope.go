@@ -1,6 +1,61 @@
 package protocol
 
-import "repro/internal/core"
+// scopeDur implements Scope persistency: updates are durable before or at
+// their scope's end (Table 2). Writes buffer under their scope id and the
+// [PERSIST]s barrier of Figure 5 flushes a scope on every replica. The
+// barrier plumbing (scope tables, PERSIST/ACK_p/VAL_p exchange) lives on
+// the Replica below; the policy only decides that writes defer to it.
+type scopeDur struct{ durClass }
+
+func (scopeDur) tracksTransP() bool            { return false }
+func (scopeDur) allowsEarlyCompletion() bool   { return true }
+func (scopeDur) persistsAtTxnBoundaries() bool { return false }
+func (scopeDur) servesPersistedImage() bool    { return false }
+
+func (scopeDur) onStrongWriteLaunch(r *Replica, pw *pendingWrite, key uint64, st Stamp, scope, txn uint64) {
+	r.launchStrongWrite(pw, key, st, scope, txn)
+}
+
+func (scopeDur) startLocalDurability(r *Replica, pw *pendingWrite, key uint64, st Stamp, scope, txn uint64) {
+	r.deferScopePersist(scope, key, st)
+	pw.localPersist = true
+}
+
+func (scopeDur) onInvReceive(r *Replica, from int, p payload) {
+	r.applyVisible(p.Key, p.Stamp)
+	r.deferScopePersist(p.Scope, p.Key, p.Stamp)
+	r.send(from, payload{Kind: MsgACKc, Stamp: p.Stamp, Txn: p.Txn})
+}
+
+func (d scopeDur) onConsistencyAcked(r *Replica, pw *pendingWrite) {
+	consAckedValidateC(r, pw, d.transactional)
+}
+
+func (scopeDur) onPersistAck(r *Replica, pw *pendingWrite) {}
+
+func (scopeDur) weakWriteNeedsAcks() bool { return false }
+
+func (scopeDur) onWeakWrite(r *Replica, pw *pendingWrite, key uint64, st Stamp, scope uint64) bool {
+	r.deferScopePersist(scope, key, st)
+	r.selfApplyCausal()
+	return true
+}
+
+func (scopeDur) onCausalApply(r *Replica, p payload, src int) {
+	r.deferScopePersist(p.Scope, p.Key, p.Stamp)
+	r.advanceApplied(src)
+}
+
+func (scopeDur) onFollowerUpdate(r *Replica, from int, p payload) {
+	r.deferScopePersist(p.Scope, p.Key, p.Stamp)
+}
+
+func (scopeDur) readBlocked(r *Replica, ks *keyState) bool { return false }
+
+// ---------------------------------------------------------------------------
+// Scope barrier plumbing (model-agnostic; driven by scopeDur and the
+// ClientPersistScope entry point)
+// ---------------------------------------------------------------------------
 
 // scopeOp tracks an in-flight scope persist barrier at its coordinator.
 type scopeOp struct {
@@ -11,11 +66,9 @@ type scopeOp struct {
 
 // deferScopePersist queues a write for its scope's persist barrier. Writes
 // arriving after the barrier already ran (possible under weak consistency)
-// persist immediately so durability is never silently skipped.
+// persist immediately so durability is never silently skipped. Only scopeDur
+// hooks call this; every other durability policy has its own schedule.
 func (r *Replica) deferScopePersist(scope uint64, key uint64, st Stamp) {
-	if r.model.P != core.Scope {
-		return
-	}
 	if r.scopeClosed[scope] {
 		r.persist(key, st, nil)
 		return

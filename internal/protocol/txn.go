@@ -1,7 +1,5 @@
 package protocol
 
-import "repro/internal/core"
-
 // txnStatus tracks a transaction's lifecycle at a node.
 type txnStatus int
 
@@ -55,7 +53,7 @@ func (r *Replica) deferTxnPersist(txn uint64, key uint64, st Stamp) {
 // transactional state at INITX/ENDX (Synchronous and Strict do; the others
 // have their own durability schedule).
 func (r *Replica) persistsAtTxnBoundaries() bool {
-	return r.model.P == core.Synchronous || r.model.P == core.Strict
+	return r.dur.persistsAtTxnBoundaries()
 }
 
 // ClientInitTxn begins a transaction at this node. onAbort fires if the

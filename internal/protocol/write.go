@@ -1,7 +1,5 @@
 package protocol
 
-import "repro/internal/core"
-
 // ClientWrite submits a write for key at this node. scope tags the write's
 // persistency scope (0 outside Scope persistency); txn its transaction (0
 // outside Transactional consistency). done runs when the write completes
@@ -13,15 +11,7 @@ func (r *Replica) ClientWrite(key uint64, scope, txn uint64, done func(Stamp)) {
 	r.work.Acquire(service, func() {
 		r.M.Writes++
 		r.trace("WR k%d", key)
-		if r.model.C == core.Transactional && txn != 0 {
-			r.txnWriteAttempt(key, scope, txn, r.eng.Now(), done)
-			return
-		}
-		if r.weakConsistency() {
-			r.weakWrite(key, scope, done)
-		} else {
-			r.strongWrite(key, scope, txn, done)
-		}
+		r.vis.dispatchWrite(r, key, scope, txn, done)
 	})
 }
 
@@ -30,8 +20,7 @@ func (r *Replica) ClientWrite(key uint64, scope, txn uint64, done func(Stamp)) {
 // key (a write is in flight from its INV broadcast until every replica has
 // acknowledged it). The conflicting requester squashes and the client
 // retries — the squash flavor of the actions Section 5.4 permits.
-func (r *Replica) txnWriteAttempt(key uint64, scope, txn uint64, start int64, done func(Stamp)) {
-	_ = start
+func (r *Replica) txnWriteAttempt(key uint64, scope, txn uint64, done func(Stamp)) {
 	tx := r.txns[txn]
 	if tx == nil || tx.status != txnActive {
 		return // transaction already aborted; client will retry
@@ -46,8 +35,11 @@ func (r *Replica) txnWriteAttempt(key uint64, scope, txn uint64, start int64, do
 	r.strongWrite(key, scope, txn, done)
 }
 
-// strongWrite runs the INV/ACK/VAL broadcast for Linearizable,
-// Read-Enforced, and Transactional consistency (Figures 2-5).
+// strongWrite starts the INV/ACK/VAL broadcast round for Linearizable,
+// Read-Enforced, and Transactional consistency (Figures 2-5): it books the
+// pending write, lets the visibility policy record its read-stall or
+// write-set state, and hands launch control to the durability policy (which
+// may gate the broadcast on a persist — Strict).
 func (r *Replica) strongWrite(key uint64, scope, txn uint64, done func(Stamp)) {
 	st := r.nextStamp()
 	ks := &r.keys[key]
@@ -61,88 +53,36 @@ func (r *Replica) strongWrite(key uint64, scope, txn uint64, done func(Stamp)) {
 	}
 	r.pending[st] = pw
 
-	if r.model.C == core.Transactional && txn != 0 {
-		if tx := r.txns[txn]; tx != nil {
-			tx.writeKeys = append(tx.writeKeys, persistItem{key: key, stamp: st})
-		}
-	}
-	// Reads to this key stall until validation under Linearizable /
-	// Read-Enforced consistency.
-	if r.model.C != core.Transactional {
-		ks.addTransC(st)
-		if r.model.P == core.ReadEnforcedP {
-			ks.addTransP(st)
-		}
-	}
-
-	launch := func() {
-		r.applyVisible(key, st)
-		pw.broadcastAt = r.eng.Now()
-		r.propagate(payload{Kind: MsgINV, Key: key, Stamp: st, Scope: scope, Txn: txn})
-		if r.p.Groups > 1 {
-			// Hybrid consistency: the strong protocol covered the local
-			// group; the remaining groups learn eventually via lazy UPDs.
-			upd := payload{Kind: MsgUPD, Key: key, Stamp: st, Scope: scope}
-			r.eng.Schedule(r.p.EventualLag, func() { r.broadcastRemoteGroups(upd) })
-		}
-		r.startLocalDurability(pw, key, st, scope, txn)
-
-		// Early write completion: Read-Enforced and Transactional
-		// consistency acknowledge the client as soon as the local update
-		// and the INV broadcast are out — unless Strict persistency forces
-		// the write to wait for persists everywhere.
-		if r.model.P != core.Strict &&
-			(r.model.C == core.ReadEnforcedC || r.model.C == core.Transactional) {
-			pw.early = true
-			r.completeWrite(pw)
-		}
-		if pw.cAcks == 0 { // single-node cluster: no followers to wait for
-			r.consistencyAcked(pw)
-		}
-	}
-
-	if r.model.P == core.Strict {
-		// Strict persistency: the coordinator persists before the update
-		// even propagates (Section 2.2, Table 2 "when the update takes
-		// place").
-		r.persist(key, st, func() {
-			pw.localPersist = true
-			launch()
-		})
-		return
-	}
-	launch()
+	r.vis.onStrongWriteLaunch(r, ks, key, st, txn)
+	r.dur.onStrongWriteLaunch(r, pw, key, st, scope, txn)
 }
 
-// startLocalDurability arranges the coordinator-side persist for a strong
-// write according to the persistency model.
-func (r *Replica) startLocalDurability(pw *pendingWrite, key uint64, st Stamp, scope, txn uint64) {
-	switch r.model.P {
-	case core.Strict:
-		// Already persisted before launch.
-		pw.localPersist = true
-	case core.Synchronous:
-		if r.model.C == core.Transactional && txn != 0 {
-			// Figure 4: persists of transactional writes bunch at ENDX.
-			r.deferTxnPersist(txn, key, st)
-			pw.localPersist = true
-			return
-		}
-		r.persist(key, st, func() {
-			pw.localPersist = true
-			r.maybeFinishStrongWrite(pw)
-		})
-	case core.ReadEnforcedP:
-		r.persist(key, st, func() {
-			pw.localPersist = true
-			r.maybeFinishStrongWrite(pw)
-		})
-	case core.Scope:
-		r.deferScopePersist(scope, key, st)
-		pw.localPersist = true
-	case core.EventualP:
-		r.eng.Schedule(r.p.LazyPersist, func() { r.persist(key, st, nil) })
-		pw.localPersist = true
+// launchStrongWrite makes the update visible locally, broadcasts the INV,
+// arranges local durability, and applies the model's write-completion rule.
+// The durability policy calls it — immediately, or from a persist callback
+// under Strict persistency.
+func (r *Replica) launchStrongWrite(pw *pendingWrite, key uint64, st Stamp, scope, txn uint64) {
+	r.applyVisible(key, st)
+	pw.broadcastAt = r.eng.Now()
+	r.propagate(payload{Kind: MsgINV, Key: key, Stamp: st, Scope: scope, Txn: txn})
+	if r.p.Groups > 1 {
+		// Hybrid consistency: the strong protocol covered the local
+		// group; the remaining groups learn eventually via lazy UPDs.
+		upd := payload{Kind: MsgUPD, Key: key, Stamp: st, Scope: scope}
+		r.eng.Schedule(r.p.EventualLag, func() { r.broadcastRemoteGroups(upd) })
+	}
+	r.dur.startLocalDurability(r, pw, key, st, scope, txn)
+
+	// Early write completion: Read-Enforced and Transactional consistency
+	// acknowledge the client as soon as the local update and the INV
+	// broadcast are out — unless Strict persistency forces the write to
+	// wait for persists everywhere.
+	if r.vis.earlyWriteCompletion() && r.dur.allowsEarlyCompletion() {
+		pw.early = true
+		r.completeWrite(pw)
+	}
+	if pw.cAcks == 0 { // single-node cluster: no followers to wait for
+		r.consistencyAcked(pw)
 	}
 }
 
@@ -152,67 +92,20 @@ func (r *Replica) releaseTxnWriteLock(key uint64) {
 	r.keys[key].lockTxn = 0
 }
 
-// onINV handles an invalidation at a follower.
+// onINV handles an invalidation at a follower: the visibility policy does
+// its bookkeeping (read-stall tracking or transactional conflict
+// detection), then the durability policy orders visibility, persistence,
+// and the ACK flavor.
 func (r *Replica) onINV(from int, p payload) {
 	if p.Chain {
 		r.forwardChain(p)
 		from = p.Stamp.Node() // ACKs go to the write's coordinator
 	}
 	ks := &r.keys[p.Key]
-
-	if r.model.C == core.Transactional && p.Txn != 0 {
-		// Cross-node write-write conflict: this node has its own in-flight
-		// transactional write to the key. Wound-wait tie-break: the younger
-		// transaction (larger id) is squashed, so exactly one side dies.
-		if ks.lockTxn != 0 && ks.lockTxn != p.Txn && p.Txn > ks.lockTxn {
-			r.send(from, payload{Kind: MsgNACK, Txn: p.Txn})
-			return
-		}
-		if tx := r.txns[p.Txn]; tx != nil {
-			tx.writeKeys = append(tx.writeKeys, persistItem{key: p.Key, stamp: p.Stamp})
-		}
-	} else if r.model.C != core.Transactional {
-		ks.addTransC(p.Stamp)
-		if r.model.P == core.ReadEnforcedP {
-			ks.addTransP(p.Stamp)
-		}
+	if !r.vis.onInvReceive(r, ks, from, p) {
+		return // transactional write-write conflict: NACKed
 	}
-
-	switch r.model.P {
-	case core.Strict:
-		// Persist before the volatile replica becomes visible.
-		r.persist(p.Key, p.Stamp, func() {
-			r.applyVisible(p.Key, p.Stamp)
-			r.send(from, payload{Kind: MsgACK, Stamp: p.Stamp, Txn: p.Txn})
-		})
-	case core.Synchronous:
-		r.applyVisible(p.Key, p.Stamp)
-		if r.model.C == core.Transactional && p.Txn != 0 {
-			// Figure 4: ACK without persisting; durability at ENDX.
-			r.deferTxnPersist(p.Txn, p.Key, p.Stamp)
-			r.send(from, payload{Kind: MsgACK, Stamp: p.Stamp, Txn: p.Txn})
-			return
-		}
-		r.persist(p.Key, p.Stamp, func() {
-			r.send(from, payload{Kind: MsgACK, Stamp: p.Stamp})
-		})
-	case core.ReadEnforcedP:
-		r.applyVisible(p.Key, p.Stamp)
-		r.send(from, payload{Kind: MsgACKc, Stamp: p.Stamp, Txn: p.Txn})
-		r.persist(p.Key, p.Stamp, func() {
-			r.send(from, payload{Kind: MsgACKp, Stamp: p.Stamp})
-		})
-	case core.Scope:
-		r.applyVisible(p.Key, p.Stamp)
-		r.deferScopePersist(p.Scope, p.Key, p.Stamp)
-		r.send(from, payload{Kind: MsgACKc, Stamp: p.Stamp, Txn: p.Txn})
-	case core.EventualP:
-		r.applyVisible(p.Key, p.Stamp)
-		r.send(from, payload{Kind: MsgACKc, Stamp: p.Stamp, Txn: p.Txn})
-		st := p.Stamp
-		key := p.Key
-		r.eng.Schedule(r.p.LazyPersist, func() { r.persist(key, st, nil) })
-	}
+	r.dur.onInvReceive(r, from, p)
 }
 
 // onACK handles a combined consistency+persistency acknowledgment.
@@ -255,80 +148,14 @@ func (r *Replica) onACKp(p payload) {
 		return
 	}
 	pw.pAcks--
-	if r.weakConsistency() && r.model.P == core.Strict {
-		r.maybeFinishWeakStrictWrite(pw)
-		return
-	}
-	r.maybeFinishStrongWrite(pw)
+	r.dur.onPersistAck(r, pw)
 }
 
-// consistencyAcked runs when all consistency ACKs for a strong write are in.
+// consistencyAcked runs when all consistency ACKs for a strong write are
+// in; what happens next — validation, completion, or more waiting — is the
+// durability policy's call.
 func (r *Replica) consistencyAcked(pw *pendingWrite) {
-	switch r.model.P {
-	case core.Strict:
-		// ACKs imply persistence everywhere; local persist preceded launch.
-		if r.model.C == core.Transactional {
-			r.releaseTxnWriteLock(pw.key)
-		}
-		r.validate(pw, MsgVAL)
-		r.completeWrite(pw)
-		delete(r.pending, pw.stamp)
-	case core.Synchronous:
-		if r.model.C == core.Transactional {
-			// No per-write VAL (Figure 4); the transaction's ENDX/VAL
-			// closes everything. The write is no longer in flight, so its
-			// conflict-detection lock releases.
-			r.releaseTxnWriteLock(pw.key)
-			delete(r.pending, pw.stamp)
-			return
-		}
-		// VAL only after the local persist finishes (Figure 2a).
-		if pw.localPersist {
-			r.validate(pw, MsgVAL)
-			r.completeWrite(pw)
-			delete(r.pending, pw.stamp)
-		} else {
-			pw.valSent = false
-			pw.cAcks = -1 // mark consistency phase done; persist cb finishes
-		}
-	case core.ReadEnforcedP:
-		// Figure 3a: the write completes at the client on all ACK_c; the
-		// VAL_p flows later, once every replica (and the coordinator)
-		// persisted.
-		if r.model.C == core.Transactional {
-			r.releaseTxnWriteLock(pw.key)
-		}
-		r.completeWrite(pw)
-		r.maybeFinishStrongWrite(pw)
-	case core.Scope, core.EventualP:
-		if r.model.C == core.Transactional {
-			r.releaseTxnWriteLock(pw.key)
-			delete(r.pending, pw.stamp)
-			return
-		}
-		r.validate(pw, MsgVALc)
-		r.completeWrite(pw)
-		delete(r.pending, pw.stamp)
-	}
-}
-
-// maybeFinishStrongWrite closes out the deferred paths: Synchronous waiting
-// on the local persist, and Read-Enforced persistency waiting on all ACK_p
-// plus the local persist before broadcasting VAL_p.
-func (r *Replica) maybeFinishStrongWrite(pw *pendingWrite) {
-	switch r.model.P {
-	case core.Synchronous:
-		if pw.cAcks == -1 && pw.localPersist {
-			r.validate(pw, MsgVAL)
-			r.completeWrite(pw)
-			delete(r.pending, pw.stamp)
-		}
-	case core.ReadEnforcedP:
-		if pw.cAcks == 0 && pw.pAcks == 0 && pw.localPersist {
-			r.validateP(pw)
-			delete(r.pending, pw.stamp)
-		}
-	}
+	r.dur.onConsistencyAcked(r, pw)
 }
 
 // validate broadcasts the consistency VAL and clears local transient state.
@@ -340,7 +167,7 @@ func (r *Replica) validate(pw *pendingWrite, kind MsgKind) {
 	r.broadcast(payload{Kind: kind, Key: pw.key, Stamp: pw.stamp})
 	ks := &r.keys[pw.key]
 	delete(ks.transC, pw.stamp)
-	if r.model.P != core.ReadEnforcedP {
+	if !r.dur.tracksTransP() {
 		r.wakeConsWaiters(ks)
 	}
 }
@@ -380,7 +207,7 @@ func (r *Replica) onVAL(p payload) {
 	}
 	ks := &r.keys[p.Key]
 	delete(ks.transC, p.Stamp)
-	if len(ks.transC) == 0 && (r.model.P != core.ReadEnforcedP || len(ks.transP) == 0) {
+	if len(ks.transC) == 0 && (!r.dur.tracksTransP() || len(ks.transP) == 0) {
 		r.wakeConsWaiters(ks)
 	}
 }
@@ -402,59 +229,29 @@ func (r *Replica) onVALp(p payload) {
 // Weak-consistency writes (Causal, Eventual)
 // ---------------------------------------------------------------------------
 
-// weakWrite implements the UPD-based write paths of Figure 2 (e-h).
+// weakWrite implements the UPD-based write paths of Figure 2 (e-h): the
+// visibility policy decides the UPD's history and propagation timing, the
+// durability policy the local persist and the completion point.
 func (r *Replica) weakWrite(key uint64, scope uint64, done func(Stamp)) {
 	st := r.nextStamp()
 
 	var pw *pendingWrite
-	if r.model.P == core.Strict {
+	if r.dur.weakWriteNeedsAcks() {
 		// Strict persistency stalls the write until persisted everywhere,
 		// even under weak consistency (Section 8.2).
 		pw = &pendingWrite{key: key, stamp: st, pAcks: r.followers(), clientDone: func() { done(st) }, broadcastAt: r.eng.Now()}
 		r.pending[st] = pw
 	}
 
-	var hist []uint64 // cauhist snapshot for Causal consistency
-	if r.model.C == core.Causal {
-		r.issued++
-		vc := r.appliedVC.Clone()
-		vc[r.id] = r.issued
-		hist = vc
-	}
+	hist := r.vis.causalHistory(r) // cauhist snapshot for Causal consistency
 
 	r.applyVisible(key, st)
 
-	// Propagation: Causal sends the UPD (+cauhist) immediately; Eventual
-	// propagates lazily (Figure 2g delays the UPD send).
 	upd := payload{Kind: MsgUPD, Key: key, Stamp: st, Scope: scope, Cauhist: hist}
-	if r.model.C == core.Eventual {
-		r.eng.Schedule(r.p.EventualLag, func() { r.propagate(upd) })
-	} else {
-		r.propagate(upd)
-	}
+	r.vis.propagateWeak(r, upd)
 
-	// Local durability per persistency model. Under Synchronous/Strict the
-	// applied vector advances only at persist completion (visibility point
-	// and durability point coincide), gating dependent causal applies.
-	switch r.model.P {
-	case core.Strict:
-		r.persist(key, st, func() {
-			pw.localPersist = true
-			r.selfApplyCausal()
-			r.maybeFinishWeakStrictWrite(pw)
-		})
+	if !r.dur.onWeakWrite(r, pw, key, st, scope) {
 		return // client completion arrives via ACK_p collection
-	case core.Synchronous:
-		r.persist(key, st, func() { r.selfApplyCausal() })
-	case core.ReadEnforcedP:
-		r.persist(key, st, nil)
-		r.selfApplyCausal()
-	case core.Scope:
-		r.deferScopePersist(scope, key, st)
-		r.selfApplyCausal()
-	case core.EventualP:
-		r.eng.Schedule(r.p.LazyPersist, func() { r.persist(key, st, nil) })
-		r.selfApplyCausal()
 	}
 	done(st)
 }
@@ -462,10 +259,7 @@ func (r *Replica) weakWrite(key uint64, scope uint64, done func(Stamp)) {
 // selfApplyCausal advances the local applied vector for one of the
 // coordinator's own writes and drains any updates it unblocks.
 func (r *Replica) selfApplyCausal() {
-	if r.model.C != core.Causal {
-		return
-	}
-	r.advanceApplied(r.id)
+	r.vis.selfApply(r)
 }
 
 // maybeFinishWeakStrictWrite completes a weak-consistency write under Strict
@@ -487,29 +281,5 @@ func (r *Replica) onUPD(from int, p payload) {
 		r.forwardChain(p)
 		from = p.Stamp.Node()
 	}
-	if r.model.C == core.Causal {
-		r.causalDeliver(from, p)
-		return
-	}
-	// Eventual consistency: apply in arrival order, last-writer-wins.
-	r.applyVisible(p.Key, p.Stamp)
-	r.followerDurability(from, p)
-}
-
-// followerDurability applies the persistency model to a weak-consistency
-// update that just became visible at this follower.
-func (r *Replica) followerDurability(from int, p payload) {
-	switch r.model.P {
-	case core.Strict:
-		r.persist(p.Key, p.Stamp, func() {
-			r.send(from, payload{Kind: MsgACKp, Stamp: p.Stamp})
-		})
-	case core.Synchronous, core.ReadEnforcedP:
-		r.persist(p.Key, p.Stamp, nil)
-	case core.Scope:
-		r.deferScopePersist(p.Scope, p.Key, p.Stamp)
-	case core.EventualP:
-		st, key := p.Stamp, p.Key
-		r.eng.Schedule(r.p.LazyPersist, func() { r.persist(key, st, nil) })
-	}
+	r.vis.onUpdate(r, from, p)
 }
