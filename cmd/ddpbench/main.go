@@ -3,12 +3,19 @@
 // Usage:
 //
 //	ddpbench -exp table1|table4|table5|fig6|fig7|fig8|fig9|stats|durability|ablation|recovery|timelines|hybrid|checker|models|bindings|all [-quick]
+//
+// Performance investigation flags: -cpuprofile/-memprofile write pprof
+// profiles covering the experiment run; -eventstats prints per-cell
+// event-scheduler counters (events/sim-second, peak queue depth, timing-wheel
+// occupancy) on stderr alongside the normal progress lines.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/harness"
 )
@@ -20,6 +27,9 @@ func main() {
 	engine := flag.String("engine", "", "kv engine: hashtable, map, btree, bplustree, memcache, walstore (default hashtable)")
 	csvOut := flag.Bool("csv", false, "emit tidy CSV instead of text (fig6/fig7/fig8/fig9/durability)")
 	parallel := flag.Int("parallel", 0, "experiment cells to run concurrently (0 = all cores, 1 = sequential; never changes results)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
+	eventstats := flag.Bool("eventstats", false, "print per-cell event-scheduler stats on stderr")
 	flag.Parse()
 
 	o := harness.DefaultOptions()
@@ -27,8 +37,23 @@ func main() {
 	o.Engine = *engine
 	o.Parallel = *parallel
 	o.Progress = os.Stderr
+	o.EventStats = *eventstats
 	if *quick {
 		o = o.Quick()
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddpbench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ddpbench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	run := harness.RunNamed
@@ -38,5 +63,19 @@ func main() {
 	if err := run(os.Stdout, *exp, o); err != nil {
 		fmt.Fprintln(os.Stderr, "ddpbench:", err)
 		os.Exit(1)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddpbench: -memprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // flush accounting so the profile reflects live + total allocs
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ddpbench: -memprofile:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -35,6 +35,83 @@ type client struct {
 	txnStamps   []protocol.Stamp // stamps of the attempt's writes
 	txnStarted  int64
 	txnAttempts int // attempts of the current transaction (backoff growth)
+
+	// freeRecs recycles op records so the closed-loop issue path allocates
+	// nothing in steady state (see opRec).
+	freeRecs *opRec
+}
+
+// opRec carries one in-flight request's state. Completion closures are
+// bound to the record once at construction and the record recycles through
+// the client's freelist, so a steady-state request issues with zero
+// allocations — with window W at most W records exist per client.
+type opRec struct {
+	c     *client
+	key   uint64
+	scope uint64
+	start int64
+	next  *opRec // freelist link
+
+	onRead  func(protocol.Stamp)
+	onWrite func(protocol.Stamp)
+	onScan  func(int)
+}
+
+func (c *client) getRec() *opRec {
+	if r := c.freeRecs; r != nil {
+		c.freeRecs = r.next
+		return r
+	}
+	r := &opRec{c: c}
+	r.onRead = func(st protocol.Stamp) { r.readDone(st) }
+	r.onWrite = func(st protocol.Stamp) { r.writeDone(st) }
+	r.onScan = func(int) { r.scanDone() }
+	return r
+}
+
+func (c *client) putRec(r *opRec) {
+	r.next = c.freeRecs
+	c.freeRecs = r
+}
+
+// readDone completes a plain read: record latency and history, refill the
+// pipeline.
+func (r *opRec) readDone(st protocol.Stamp) {
+	c, key, start := r.c, r.key, r.start
+	c.putRec(r)
+	c.outstanding--
+	c.cl.recordRead(c.cl.Eng.Now() - start)
+	c.cl.logRead(ReadRecord{Key: key, Stamp: st, Client: c.id, Node: c.node.ID(), IssueAt: start, DoneAt: c.cl.Eng.Now()})
+	c.opsInScope++
+	c.next()
+}
+
+// writeDone completes a write or RMW: record latency and history (tagging
+// scoped writes for the barrier), refill the pipeline.
+func (r *opRec) writeDone(st protocol.Stamp) {
+	c, key, scope, start := r.c, r.key, r.scope, r.start
+	c.putRec(r)
+	c.outstanding--
+	c.cl.recordWrite(c.cl.Eng.Now() - start)
+	idx := c.cl.logWrite(WriteRecord{
+		Key: key, Stamp: st, Client: c.id, IssueAt: start, AckAt: c.cl.Eng.Now(),
+		Scope: scope, ScopePersisted: !c.scoped(),
+	})
+	if idx >= 0 && c.scoped() {
+		c.scopeRecs = append(c.scopeRecs, idx)
+	}
+	c.opsInScope++
+	c.next()
+}
+
+// scanDone completes a scan (read-latency accounting, no history record).
+func (r *opRec) scanDone() {
+	c, start := r.c, r.start
+	c.putRec(r)
+	c.outstanding--
+	c.cl.recordRead(c.cl.Eng.Now() - start)
+	c.opsInScope++
+	c.next()
 }
 
 func newClient(id int, cl *Cluster, node *protocol.Replica, gen *ycsb.Generator, rng *sim.RNG) *client {
@@ -99,61 +176,27 @@ func (c *client) next() {
 	}
 }
 
-// issueOne submits a single request of whatever kind the workload draws.
+// issueOne submits a single request of whatever kind the workload draws,
+// carrying its state in a recycled opRec.
 func (c *client) issueOne() {
 	c.outstanding++
 	op := c.gen.Next()
-	start := c.cl.Eng.Now()
+	rec := c.getRec()
+	rec.key = op.Key
+	rec.scope = 0
+	rec.start = c.cl.Eng.Now()
 	switch op.Kind {
 	case ycsb.OpScan:
-		c.node.ClientScan(op.Key, op.ScanLen, func(int) {
-			c.outstanding--
-			c.cl.recordRead(c.cl.Eng.Now() - start)
-			c.opsInScope++
-			c.next()
-		})
-		return
+		c.node.ClientScan(op.Key, op.ScanLen, rec.onScan)
 	case ycsb.OpRMW:
-		scope := c.curScope()
-		c.node.ClientRMW(op.Key, scope, 0, func(st protocol.Stamp) {
-			c.outstanding--
-			c.cl.recordWrite(c.cl.Eng.Now() - start)
-			idx := c.cl.logWrite(WriteRecord{
-				Key: op.Key, Stamp: st, Client: c.id, IssueAt: start, AckAt: c.cl.Eng.Now(),
-				Scope: scope, ScopePersisted: !c.scoped(),
-			})
-			if idx >= 0 && c.scoped() {
-				c.scopeRecs = append(c.scopeRecs, idx)
-			}
-			c.opsInScope++
-			c.next()
-		})
-		return
+		rec.scope = c.curScope()
+		c.node.ClientRMW(op.Key, rec.scope, 0, rec.onWrite)
+	case ycsb.OpRead:
+		c.node.ClientRead(op.Key, 0, rec.onRead)
+	default:
+		rec.scope = c.curScope()
+		c.node.ClientWrite(op.Key, rec.scope, 0, rec.onWrite)
 	}
-	if op.Kind == ycsb.OpRead {
-		c.node.ClientRead(op.Key, 0, func(st protocol.Stamp) {
-			c.outstanding--
-			c.cl.recordRead(c.cl.Eng.Now() - start)
-			c.cl.logRead(ReadRecord{Key: op.Key, Stamp: st, Client: c.id, Node: c.node.ID(), IssueAt: start, DoneAt: c.cl.Eng.Now()})
-			c.opsInScope++
-			c.next()
-		})
-		return
-	}
-	scope := c.curScope()
-	c.node.ClientWrite(op.Key, scope, 0, func(st protocol.Stamp) {
-		c.outstanding--
-		c.cl.recordWrite(c.cl.Eng.Now() - start)
-		idx := c.cl.logWrite(WriteRecord{
-			Key: op.Key, Stamp: st, Client: c.id, IssueAt: start, AckAt: c.cl.Eng.Now(),
-			Scope: scope, ScopePersisted: !c.scoped(),
-		})
-		if idx >= 0 && c.scoped() {
-			c.scopeRecs = append(c.scopeRecs, idx)
-		}
-		c.opsInScope++
-		c.next()
-	})
 }
 
 // persistScope runs the [PERSIST]s barrier and then continues with cont.

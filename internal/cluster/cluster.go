@@ -115,6 +115,10 @@ type Result struct {
 	Events    uint64
 	WallTime  time.Duration
 
+	// Event-scheduler counters for the run (queue depth, wheel/overflow
+	// split) — surfaced by the harness under -eventstats.
+	Sched sim.EngineStats
+
 	// Histories (only when Config.TrackHistory).
 	Writes []WriteRecord
 	Reads  []ReadRecord
@@ -241,6 +245,7 @@ func (c *Cluster) Collect(window int64, wall time.Duration) *Result {
 		SimTimeNs: c.Eng.Now(),
 		Events:    c.Eng.Processed(),
 		WallTime:  wall,
+		Sched:     c.Eng.Stats(),
 		Writes:    c.writeLog,
 		Reads:     c.readLog,
 	}

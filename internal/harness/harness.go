@@ -35,6 +35,11 @@ type Options struct {
 	// long sweeps are observable (ddpbench points it at stderr). Lines are
 	// serialized across concurrent cells and appear in completion order.
 	Progress io.Writer
+
+	// EventStats adds a per-cell scheduler line to Progress: events per
+	// simulated second, peak pending-event depth, and the wheel/overflow
+	// split (ddpbench -eventstats).
+	EventStats bool
 }
 
 // DefaultOptions returns the paper's evaluation configuration.
@@ -72,10 +77,25 @@ func (o Options) config(m core.Model, w ycsb.Workload) cluster.Config {
 // workers resolves the Parallel option to a concrete worker count.
 func (o Options) workers() int { return sweep.Workers(o.Parallel) }
 
-// progressLine prints the one-line completion record of a cell.
-func progressLine(w io.Writer, m core.Model, wl ycsb.Workload, r *cluster.Result) {
+// progressLine prints the one-line completion record of a cell, plus the
+// scheduler counters when stats is set.
+func progressLine(w io.Writer, m core.Model, wl ycsb.Workload, r *cluster.Result, stats bool) {
 	fmt.Fprintf(w, "  ran %-34s %-12s %8.2f Mops/s (%v wall)\n",
 		m, wl.Name, r.Throughput()/1e6, r.WallTime.Round(time.Millisecond))
+	if !stats {
+		return
+	}
+	s := r.Sched
+	evPerSec := float64(0)
+	if r.SimTimeNs > 0 {
+		evPerSec = float64(s.Processed) / (float64(r.SimTimeNs) / 1e9)
+	}
+	wheelPct := float64(0)
+	if tot := s.Wheel + s.Overflow; tot > 0 {
+		wheelPct = 100 * float64(s.Wheel) / float64(tot)
+	}
+	fmt.Fprintf(w, "      events %8.2f M/sim-s  max pending %6d  wheel %5.1f%%  overflow %d  turns %d\n",
+		evPerSec/1e6, s.MaxPending, wheelPct, s.Overflow, s.Turns)
 }
 
 // cell is one (options, model, workload) cluster run in an experiment grid.
@@ -96,7 +116,9 @@ func runCells(parent Options, cells []cell) ([]*cluster.Result, error) {
 		c := cells[i]
 		scells[i] = sweep.Cell{Config: c.o.config(c.m, c.w)}
 		if parent.Progress != nil {
-			scells[i].OnDone = func(r *cluster.Result) { progressLine(parent.Progress, c.m, c.w, r) }
+			scells[i].OnDone = func(r *cluster.Result) {
+				progressLine(parent.Progress, c.m, c.w, r, parent.EventStats)
+			}
 		}
 	}
 	rs := sweep.Run(scells, parent.workers())

@@ -41,6 +41,11 @@ type Device struct {
 	bank   [][]int64 // next-free time per [channel][bank]
 	chFree []int64   // next-free time per channel bus
 
+	// In-flight completion callbacks, parked in a freelist-recycled slab so
+	// each access schedules a typed (closure-free) completion event.
+	acc     []accRec
+	accFree int32
+
 	reads     uint64
 	writes    uint64
 	sumWait   int64
@@ -50,12 +55,21 @@ type Device struct {
 	queued    int
 }
 
+// accRec parks one access's completion — a callback, or a pre-bound
+// (Handler, arg) pair for the closure-free flavors — across its event.
+type accRec struct {
+	done func()
+	h    sim.Handler
+	arg  uint64
+	next int32 // freelist link
+}
+
 // New creates a device on the given engine. Geometry must be positive.
 func New(eng *sim.Engine, cfg Config) *Device {
 	if cfg.Channels < 1 || cfg.Banks < 1 {
 		panic(fmt.Sprintf("nvm: bad geometry %dx%d", cfg.Channels, cfg.Banks))
 	}
-	d := &Device{eng: eng, cfg: cfg, chFree: make([]int64, cfg.Channels)}
+	d := &Device{eng: eng, cfg: cfg, chFree: make([]int64, cfg.Channels), accFree: -1}
 	d.bank = make([][]int64, cfg.Channels)
 	for i := range d.bank {
 		d.bank[i] = make([]int64, cfg.Banks)
@@ -78,7 +92,7 @@ func (d *Device) placement(addr uint64) (int, int) {
 
 // access schedules one operation of the given service time against addr's
 // bank and returns the completion time.
-func (d *Device) access(addr uint64, service int64, done func()) int64 {
+func (d *Device) access(addr uint64, service int64, rec accRec) int64 {
 	ch, bk := d.placement(addr)
 	now := d.eng.Now()
 	start := d.bank[ch][bk]
@@ -101,26 +115,56 @@ func (d *Device) access(addr uint64, service int64, done func()) int64 {
 	if d.queued > d.maxQueued {
 		d.maxQueued = d.queued
 	}
-	d.eng.At(end, func() {
-		d.queued--
-		if done != nil {
-			done()
-		}
-	})
+	ni := d.accFree
+	if ni >= 0 {
+		d.accFree = d.acc[ni].next
+		d.acc[ni] = rec
+	} else {
+		d.acc = append(d.acc, rec)
+		ni = int32(len(d.acc) - 1)
+	}
+	d.eng.AtEvent(end, d, uint64(ni))
 	return end
+}
+
+// OnEvent completes the access parked at token arg. It implements
+// sim.Handler so completions schedule without allocating a closure.
+func (d *Device) OnEvent(arg uint64) {
+	rec := d.acc[arg]
+	d.acc[arg] = accRec{next: d.accFree}
+	d.accFree = int32(arg)
+	d.queued--
+	if rec.done != nil {
+		rec.done()
+	} else if rec.h != nil {
+		rec.h.OnEvent(rec.arg)
+	}
 }
 
 // Write persists one value identified by addr; done fires when the write is
 // durable. It returns the simulated completion time.
 func (d *Device) Write(addr uint64, done func()) int64 {
 	d.writes++
-	return d.access(addr, d.cfg.WriteLat, done)
+	return d.access(addr, d.cfg.WriteLat, accRec{done: done})
+}
+
+// WriteEvent is the closure-free flavor of Write: h.OnEvent(arg) fires when
+// the write is durable.
+func (d *Device) WriteEvent(addr uint64, h sim.Handler, arg uint64) int64 {
+	d.writes++
+	return d.access(addr, d.cfg.WriteLat, accRec{h: h, arg: arg})
 }
 
 // Read fetches one value; done fires at completion.
 func (d *Device) Read(addr uint64, done func()) int64 {
 	d.reads++
-	return d.access(addr, d.cfg.ReadLat, done)
+	return d.access(addr, d.cfg.ReadLat, accRec{done: done})
+}
+
+// ReadEvent is the closure-free flavor of Read.
+func (d *Device) ReadEvent(addr uint64, h sim.Handler, arg uint64) int64 {
+	d.reads++
+	return d.access(addr, d.cfg.ReadLat, accRec{h: h, arg: arg})
 }
 
 // Writes returns the number of writes issued.

@@ -91,23 +91,45 @@ type payload struct {
 	Txn     uint64
 	Cauhist vclock.VC // non-nil only under Causal consistency
 	Chain   bool      // serially-propagated (SerialPropagation ablation)
+
+	// refs counts in-flight messages sharing this box (broadcast shares one
+	// box across every copy). Meaningful only in the boxed instance; value
+	// copies carry it inertly. Not part of the wire format.
+	refs int32
 }
 
 // payloadChunk is how many payloads one slab block amortizes (see boxPayload).
 const payloadChunk = 64
 
-// boxPayload copies p into a chunked slab and returns its address to carry
-// in simnet.Message.Payload. Boxing a pointer into the interface is
-// allocation-free, so this replaces one heap allocation per message (boxing
-// the ~80-byte payload value) with one slab allocation per payloadChunk
-// messages. Full chunks are abandoned to the GC once their in-flight
-// messages deliver, so live memory stays bounded by in-flight traffic.
+// boxPayload copies p into a pooled box and returns its address to carry in
+// simnet.Message.Payload. Boxing a pointer into the interface is
+// allocation-free, and boxes recycle: onMessage is the payload's sole
+// consumer and returns the spent box to the receiving replica's free stack
+// (replicas exchange messages symmetrically, so the stacks stay balanced).
+// A replica with no free box carves one from a chunked slab, so cold-start
+// costs one allocation per payloadChunk messages, and steady state costs
+// none.
 func (r *Replica) boxPayload(p payload) *payload {
+	p.refs = 1
+	if k := len(r.pfree); k > 0 {
+		pp := r.pfree[k-1]
+		r.pfree[k-1] = nil
+		r.pfree = r.pfree[:k-1]
+		*pp = p
+		return pp
+	}
 	if len(r.slab) == cap(r.slab) {
 		r.slab = make([]payload, 0, payloadChunk)
 	}
 	r.slab = append(r.slab, p)
 	return &r.slab[len(r.slab)-1]
+}
+
+// boxShared boxes p for n in-flight messages sharing the box (broadcast).
+func (r *Replica) boxShared(p payload, n int) *payload {
+	pp := r.boxPayload(p)
+	pp.refs = int32(n)
+	return pp
 }
 
 // wireSize returns the modeled on-the-wire size of a message.

@@ -48,10 +48,15 @@ type keyState struct {
 
 	// Write-back coalescing: at most one persist per key is in flight; newer
 	// stamps arriving meanwhile mark the key dirty and ride the follow-up
-	// write-back. Callbacks fire once their stamp is covered.
+	// write-back. Callbacks fire once their stamp is covered. issuedStamp is
+	// the stamp the in-flight write covers (at most one, so it lives here
+	// rather than in a per-write record); spareCbs is the double-buffer that
+	// lets completion snapshot-and-swap persistCbs without reallocating.
 	persistInFlight bool
 	dirtyStamp      Stamp
+	issuedStamp     Stamp
 	persistCbs      []persistCb
+	spareCbs        []persistCb
 }
 
 // persistCb defers a durability callback onto an in-flight coalesced persist.
@@ -83,7 +88,7 @@ type pendingWrite struct {
 	localPersist bool  // local persist finished
 	valSent      bool  // consistency VAL broadcast done
 	broadcastAt  int64 // when INV went out (stall accounting)
-	clientDone   func()
+	clientDone   func(Stamp)
 	early        bool // completion already delivered to the client
 }
 
@@ -143,9 +148,59 @@ type Replica struct {
 	scopeClosed  map[uint64]bool
 	scopeOps     map[uint64]*scopeOp
 
-	sharedVal []byte    // shared synthetic value payload (avoids allocation)
-	slab      []payload // chunked outgoing-payload storage (see boxPayload)
+	sharedVal []byte     // shared synthetic value payload (avoids allocation)
+	slab      []payload  // chunked outgoing-payload storage (see boxPayload)
+	pfree     []*payload // spent payload boxes, recycled by onMessage
 	tracer    func(node int, what string)
+
+	// Received messages parked across their worker-pool service job, in a
+	// freelist-recycled slab so message dispatch schedules closure-free
+	// (see onMessage / OnEvent).
+	disp     []dispatchRec
+	dispFree int32
+
+	// persC dispatches coalesced write-back completions (see issuePersist).
+	persC persistDone
+
+	// Read-path records: readFree recycles readOp pipeline records
+	// (ClientRead) and rdone parks finished reads across their memory
+	// latency so readAttempt completes closure-free.
+	readFree  *readOp
+	rdone     []readDoneRec
+	rdoneFree int32
+	rdoneC    readDoneC
+}
+
+// readDoneRec parks one completed read's result across its memory-latency
+// event (see readAttempt).
+type readDoneRec struct {
+	key  uint64
+	ver  Stamp
+	done func(Stamp)
+	next int32 // freelist link
+}
+
+// readDoneC delivers parked read results. It implements sim.Handler so the
+// memory-latency delay schedules without allocating a closure.
+type readDoneC struct{ r *Replica }
+
+func (rd *readDoneC) OnEvent(tok uint64) {
+	r := rd.r
+	rec := &r.rdone[tok]
+	key, ver, done := rec.key, rec.ver, rec.done
+	*rec = readDoneRec{next: r.rdoneFree}
+	r.rdoneFree = int32(tok)
+	if r.tracer != nil {
+		r.trace("RD k%d returns %v", key, ver)
+	}
+	done(ver)
+}
+
+// dispatchRec parks one received message across its worker service job.
+type dispatchRec struct {
+	from int32
+	next int32 // freelist link
+	p    payload
 }
 
 // NewReplica builds the protocol engine for node id and registers its
@@ -172,7 +227,11 @@ func NewReplica(id int, d Deps) *Replica {
 		scopeOps:     make(map[uint64]*scopeOp),
 		sharedVal:    make([]byte, d.P.ValueSize),
 		tracer:       d.Trace,
+		dispFree:     -1,
 	}
+	r.persC.r = r
+	r.rdoneFree = -1
+	r.rdoneC.r = r
 	r.vis, r.dur = resolvePolicies(d.Model)
 	d.Net.Register(id, r.onMessage)
 	return r
@@ -246,7 +305,9 @@ func (r *Replica) sameGroup(node int) bool {
 
 // send transmits one protocol message.
 func (r *Replica) send(to int, p payload) {
-	r.trace("%s -> node %d", p.Kind, to)
+	if r.tracer != nil {
+		r.trace("%s -> node %d", p.Kind, to)
+	}
 	r.net.Send(simnet.Message{
 		From:    r.id,
 		To:      to,
@@ -292,17 +353,22 @@ func (r *Replica) forwardChain(p payload) {
 // consistency).
 func (r *Replica) broadcast(p payload) {
 	if r.p.Groups <= 1 {
-		r.trace("%s -> all", p.Kind)
-		// One boxed payload serves every copy: Broadcast shares the pointer.
+		if r.tracer != nil {
+			r.trace("%s -> all", p.Kind)
+		}
+		// One boxed payload serves every copy: Broadcast shares the pointer,
+		// and the box's refcount lets the last receiver recycle it.
 		r.net.Broadcast(simnet.Message{
 			From:    r.id,
 			Size:    r.wireSize(p),
 			Kind:    int(p.Kind),
-			Payload: r.boxPayload(p),
+			Payload: r.boxShared(p, r.p.Servers-1),
 		}, -1)
 		return
 	}
-	r.trace("%s -> group", p.Kind)
+	if r.tracer != nil {
+		r.trace("%s -> group", p.Kind)
+	}
 	for to := 0; to < r.p.Servers; to++ {
 		if to == r.id || !r.sameGroup(to) {
 			continue
@@ -325,17 +391,45 @@ func (r *Replica) broadcastRemoteGroups(p payload) {
 // onMessage is the network receive entry point: it charges a worker for the
 // handling cost, then dispatches.
 func (r *Replica) onMessage(m simnet.Message) {
-	p := *m.Payload.(*payload)
+	pp := m.Payload.(*payload)
+	p := *pp
+	// A box is spent once every message sharing it has been copied out;
+	// the last receiver recycles it (here, on the receiving side), clearing
+	// the cauhist reference first.
+	if pp.refs--; pp.refs == 0 {
+		*pp = payload{}
+		r.pfree = append(r.pfree, pp)
+	}
 	service := r.p.MessageHandle
 	if p.Kind == MsgINV || p.Kind == MsgUPD {
 		service += r.mem.DDIOFillLatency()
 	}
-	from := m.From
-	r.work.Acquire(service, func() { r.dispatch(from, p) })
+	ni := r.dispFree
+	if ni >= 0 {
+		r.dispFree = r.disp[ni].next
+		r.disp[ni] = dispatchRec{from: int32(m.From), p: p}
+	} else {
+		r.disp = append(r.disp, dispatchRec{from: int32(m.From), p: p})
+		ni = int32(len(r.disp) - 1)
+	}
+	r.work.AcquireEvent(service, r, uint64(ni))
+}
+
+// OnEvent dispatches the message parked at token arg. It implements
+// sim.Handler so message handling schedules without a closure per message.
+func (r *Replica) OnEvent(arg uint64) {
+	rec := &r.disp[arg]
+	from, p := int(rec.from), rec.p
+	rec.p = payload{} // drop the vclock reference before recycling
+	rec.next = r.dispFree
+	r.dispFree = int32(arg)
+	r.dispatch(from, p)
 }
 
 func (r *Replica) dispatch(from int, p payload) {
-	r.trace("recv %s (from %d)", p.Kind, from)
+	if r.tracer != nil {
+		r.trace("recv %s (from %d)", p.Kind, from)
+	}
 	if !p.Stamp.IsZero() {
 		r.observe(p.Stamp)
 	}
@@ -378,7 +472,9 @@ func (r *Replica) applyVisible(key uint64, st Stamp) bool {
 	}
 	ks.visible = st
 	r.vol.Put(key, engines.Item{Value: r.sharedVal, Version: uint64(st)})
-	r.trace("update replica k%d=%v", key, st)
+	if r.tracer != nil {
+		r.trace("update replica k%d=%v", key, st)
+	}
 	return true
 }
 
@@ -429,33 +525,58 @@ func (r *Replica) issuePersist(key uint64, st Stamp) {
 	ks := &r.keys[key]
 	ks.persistInFlight = true
 	ks.dirtyStamp = st
+	ks.issuedStamp = st
 	r.M.Persists++
-	r.trace("persist k%d=%v ...", key, st)
-	r.dev.Write(key, func() {
-		ks.persistInFlight = false
-		if st > ks.persisted {
-			ks.persisted = st
-			r.img.Put(key, engines.Item{Value: r.sharedVal, Version: uint64(st)})
-		}
+	if r.tracer != nil {
+		r.trace("persist k%d=%v ...", key, st)
+	}
+	r.dev.WriteEvent(key, &r.persC, key)
+}
+
+// persistDone routes NVM write-back completions back to their replica
+// closure-free: the token is the key, and keyState.issuedStamp remembers the
+// covered stamp (at most one write-back per key is in flight).
+type persistDone struct{ r *Replica }
+
+func (pd *persistDone) OnEvent(key uint64) { pd.r.writeBackDone(key) }
+
+// writeBackDone completes the in-flight coalesced persist for key: advance
+// the persisted stamp and NVM image, fire covered callbacks, wake stalled
+// readers, and write back again if the key got dirtier meanwhile.
+func (r *Replica) writeBackDone(key uint64) {
+	ks := &r.keys[key]
+	st := ks.issuedStamp
+	ks.persistInFlight = false
+	if st > ks.persisted {
+		ks.persisted = st
+		r.img.Put(key, engines.Item{Value: r.sharedVal, Version: uint64(st)})
+	}
+	if r.tracer != nil {
 		r.trace("persist k%d=%v done", key, st)
-		// Snapshot-and-clear before firing: a callback may re-enter persist()
-		// for this key and append new entries, which must not be clobbered.
-		if len(ks.persistCbs) > 0 {
-			cbs := ks.persistCbs
-			ks.persistCbs = nil
-			for _, cb := range cbs {
-				if cb.st <= ks.persisted {
-					cb.done()
-				} else {
-					ks.persistCbs = append(ks.persistCbs, cb)
-				}
+	}
+	// Snapshot-and-swap before firing: a callback may re-enter persist()
+	// for this key and append new entries, which must not be clobbered. The
+	// spare buffer keeps both backing arrays alive across rounds so the
+	// swap never reallocates.
+	if len(ks.persistCbs) > 0 {
+		cbs := ks.persistCbs
+		ks.persistCbs = ks.spareCbs[:0]
+		for _, cb := range cbs {
+			if cb.st <= ks.persisted {
+				cb.done()
+			} else {
+				ks.persistCbs = append(ks.persistCbs, cb)
 			}
 		}
-		r.wakePersistWaiters(ks)
-		if ks.dirtyStamp > ks.persisted && !ks.persistInFlight {
-			r.issuePersist(key, ks.dirtyStamp)
+		for i := range cbs {
+			cbs[i] = persistCb{} // release the callbacks for GC
 		}
-	})
+		ks.spareCbs = cbs[:0]
+	}
+	r.wakePersistWaiters(ks)
+	if ks.dirtyStamp > ks.persisted && !ks.persistInFlight {
+		r.issuePersist(key, ks.dirtyStamp)
+	}
 }
 
 // persistEvent persists a non-key protocol event (transaction begin) to NVM.
@@ -500,27 +621,74 @@ func (r *Replica) wakePersistWaiters(ks *keyState) {
 // instead).
 func (r *Replica) ClientRead(key uint64, txn uint64, done func(Stamp)) {
 	_ = txn
-	service := int64(float64(r.p.RequestCompute)*r.vol.OpCost()) + r.p.EngineOpExtra
 	// The worker runs the read to completion: if the read stalls, its
 	// worker blocks with it (run-to-completion server threads). Under load,
 	// stalled reads therefore deplete the worker pool — the degradation
 	// that makes client count matter so much in Figure 7. Transactional
 	// reads never squash: they serve the latest committed version
 	// (readAttempt), the snapshot flavor of Section 5.4's conflict actions.
-	r.work.AcquireHold(func(release func()) {
-		r.eng.Schedule(service, func() {
-			r.M.Reads++
-			r.trace("RD k%d", key)
-			ks := &r.keys[key]
-			if ks.persisted < ks.visible {
-				r.M.PersistConflictReads++
-			}
-			r.readAttempt(key, r.eng.Now(), false, func(st Stamp) {
-				release()
-				done(st)
-			})
-		})
-	})
+	// The read's state rides a recycled readOp, so the steady-state read
+	// pipeline allocates no per-op closures.
+	op := r.getReadOp()
+	op.key = key
+	op.service = int64(float64(r.p.RequestCompute)*r.vol.OpCost()) + r.p.EngineOpExtra
+	op.done = done
+	r.work.AcquireHold(op.onHold)
+}
+
+// readOp carries one plain read through its pipeline: worker hold → service
+// time → readAttempt → completion. The hold and completion closures are
+// bound to the record once and the record recycles through the replica's
+// freelist.
+type readOp struct {
+	r       *Replica
+	key     uint64
+	service int64
+	release func()
+	done    func(Stamp)
+	next    *readOp // freelist link
+
+	onHold func(func()) // bound once: worker acquired
+	onDone func(Stamp)  // bound once: readAttempt finished
+}
+
+func (r *Replica) getReadOp() *readOp {
+	if op := r.readFree; op != nil {
+		r.readFree = op.next
+		return op
+	}
+	op := &readOp{r: r}
+	op.onHold = func(release func()) {
+		op.release = release
+		op.r.eng.ScheduleEvent(op.service, op, 0)
+	}
+	op.onDone = func(st Stamp) { op.complete(st) }
+	return op
+}
+
+// OnEvent runs the read once its worker service time has elapsed. It
+// implements sim.Handler so the service delay schedules closure-free.
+func (op *readOp) OnEvent(uint64) {
+	r, key := op.r, op.key
+	r.M.Reads++
+	if r.tracer != nil {
+		r.trace("RD k%d", key)
+	}
+	ks := &r.keys[key]
+	if ks.persisted < ks.visible {
+		r.M.PersistConflictReads++
+	}
+	r.readAttempt(key, r.eng.Now(), false, op.onDone)
+}
+
+// complete releases the worker, answers the client, and recycles the record.
+func (op *readOp) complete(st Stamp) {
+	r, release, done := op.r, op.release, op.done
+	op.release, op.done = nil, nil
+	op.next = r.readFree
+	r.readFree = op
+	release()
+	done(st)
 }
 
 // readAttempt applies the model's read-stall rules, re-arming itself as a
@@ -531,7 +699,9 @@ func (r *Replica) readAttempt(key uint64, start int64, stalled bool, done func(S
 	if r.vis.readBlocked(r, ks) {
 		if !stalled {
 			r.M.ReadStalls++
-			r.trace("RD k%d stalls", key)
+			if r.tracer != nil {
+				r.trace("RD k%d stalls", key)
+			}
 		}
 		ks.consWait = append(ks.consWait, func() { r.readAttempt(key, start, true, done) })
 		return
@@ -539,7 +709,9 @@ func (r *Replica) readAttempt(key uint64, start int64, stalled bool, done func(S
 	if r.dur.readBlocked(r, ks) {
 		if !stalled {
 			r.M.ReadStalls++
-			r.trace("RD k%d stalls (persist)", key)
+			if r.tracer != nil {
+				r.trace("RD k%d stalls (persist)", key)
+			}
 		}
 		ks.persWait = append(ks.persWait, func() { r.readAttempt(key, start, true, done) })
 		return
@@ -558,10 +730,15 @@ func (r *Replica) readAttempt(key uint64, start int64, stalled bool, done func(S
 		// completed (Section 2.1): serve the latest committed version.
 		ver = ks.committed
 	}
-	r.eng.Schedule(r.mem.ReadLatency(), func() {
-		r.trace("RD k%d returns %v", key, ver)
-		done(ver)
-	})
+	ni := r.rdoneFree
+	if ni >= 0 {
+		r.rdoneFree = r.rdone[ni].next
+		r.rdone[ni] = readDoneRec{key: key, ver: ver, done: done}
+	} else {
+		r.rdone = append(r.rdone, readDoneRec{key: key, ver: ver, done: done})
+		ni = int32(len(r.rdone) - 1)
+	}
+	r.eng.ScheduleEvent(r.mem.ReadLatency(), &r.rdoneC, uint64(ni))
 }
 
 // weakConsistency reports whether the consistency model is Causal or

@@ -18,7 +18,9 @@ func (r *Replica) ClientScan(start uint64, maxLen int, done func(count int)) {
 	r.work.AcquireHold(func(release func()) {
 		r.eng.Schedule(service, func() {
 			r.M.Reads++
-			r.trace("SCAN k%d+%d", start, maxLen)
+			if r.tracer != nil {
+				r.trace("SCAN k%d+%d", start, maxLen)
+			}
 			r.readAttempt(start, r.eng.Now(), false, func(Stamp) {
 				count := r.scanEngine(start, maxLen)
 				// Per-entry traversal cost on top of the first access.
@@ -68,7 +70,9 @@ func (r *Replica) ClientRMW(key uint64, scope, txn uint64, done func(Stamp)) {
 	r.work.AcquireHold(func(release func()) {
 		r.eng.Schedule(service, func() {
 			r.M.Reads++
-			r.trace("RMW k%d", key)
+			if r.tracer != nil {
+				r.trace("RMW k%d", key)
+			}
 			r.readAttempt(key, r.eng.Now(), false, func(Stamp) {
 				// The modify phase re-uses the write path; the read already
 				// charged the request compute, so the write costs only the

@@ -10,7 +10,9 @@ func (r *Replica) ClientWrite(key uint64, scope, txn uint64, done func(Stamp)) {
 	service := int64(float64(r.p.RequestCompute)*r.vol.OpCost()) + r.p.EngineOpExtra + r.mem.WriteLatency()
 	r.work.Acquire(service, func() {
 		r.M.Writes++
-		r.trace("WR k%d", key)
+		if r.tracer != nil {
+			r.trace("WR k%d", key)
+		}
 		r.vis.dispatchWrite(r, key, scope, txn, done)
 	})
 }
@@ -49,7 +51,7 @@ func (r *Replica) strongWrite(key uint64, scope, txn uint64, done func(Stamp)) {
 		stamp:      st,
 		cAcks:      r.followers(),
 		pAcks:      r.followers(),
-		clientDone: func() { done(st) },
+		clientDone: done,
 	}
 	r.pending[st] = pw
 
@@ -187,14 +189,16 @@ func (r *Replica) completeWrite(pw *pendingWrite) {
 	if pw.clientDone == nil {
 		return
 	}
-	r.trace("WR k%d complete", pw.key)
+	if r.tracer != nil {
+		r.trace("WR k%d complete", pw.key)
+	}
 	done := pw.clientDone
 	pw.clientDone = nil
 	if !pw.early && pw.broadcastAt > 0 {
 		r.M.WriteStalls++
 		r.M.WriteStallTime += r.eng.Now() - pw.broadcastAt
 	}
-	done()
+	done(pw.stamp)
 }
 
 // onVAL handles VAL / VAL_c at a follower: the write is validated for
@@ -239,7 +243,7 @@ func (r *Replica) weakWrite(key uint64, scope uint64, done func(Stamp)) {
 	if r.dur.weakWriteNeedsAcks() {
 		// Strict persistency stalls the write until persisted everywhere,
 		// even under weak consistency (Section 8.2).
-		pw = &pendingWrite{key: key, stamp: st, pAcks: r.followers(), clientDone: func() { done(st) }, broadcastAt: r.eng.Now()}
+		pw = &pendingWrite{key: key, stamp: st, pAcks: r.followers(), clientDone: done, broadcastAt: r.eng.Now()}
 		r.pending[st] = pw
 	}
 
@@ -271,7 +275,7 @@ func (r *Replica) maybeFinishWeakStrictWrite(pw *pendingWrite) {
 		r.M.WriteStalls++
 		r.M.WriteStallTime += r.eng.Now() - pw.broadcastAt
 		delete(r.pending, pw.stamp)
-		done()
+		done(pw.stamp)
 	}
 }
 

@@ -1,26 +1,55 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
-// The engine maintains a priority queue of events keyed by (time, sequence).
-// Scheduling an event never executes it immediately; Run drains the queue in
+// The engine maintains a pending-event set keyed by (time, sequence).
+// Scheduling an event never executes it immediately; Run drains the set in
 // timestamp order, advancing the simulated clock. Because ties are broken by
 // insertion sequence, two runs with the same inputs produce identical
 // schedules, which makes every experiment in this repository reproducible.
 //
 // All times are simulated nanoseconds. The engine is single-goroutine by
 // design: protocol handlers must not block, they schedule continuations.
-// The queue is a hand-rolled 4-ary heap over a value slice: event dispatch
-// is the hottest path in every experiment, and avoiding container/heap's
-// interface boxing roughly halves simulation time.
+//
+// Event dispatch is the hottest path in every experiment, so the engine
+// offers two things beyond a plain priority queue:
+//
+//   - Two interchangeable schedulers (see Scheduler): a hierarchical timing
+//     wheel (the default — O(1) amortized insert/extract, tuned to the
+//     simulator's short event horizons) and the original 4-ary heap, kept
+//     for differential testing. Both dispatch in exactly the same
+//     (time, seq) order, so they are bit-for-bit equivalent.
+//   - Typed events (ScheduleEvent/AtEvent): a pre-bound Handler plus a
+//     uint64 argument, so hot event producers (simnet deliveries, NVM
+//     completions, worker-pool completions) schedule without allocating a
+//     closure per event.
 package sim
 
-// event is a closure to run at a simulated time.
+// Handler consumes a typed event. Implementations are long-lived simulation
+// components (a network delivery record, an NVM device, a worker pool); the
+// argument is an implementation-defined token, typically an index into the
+// handler's own pooled state. Scheduling a Handler allocates nothing.
+type Handler interface {
+	OnEvent(arg uint64)
+}
+
+// event is one scheduled action: either a closure or a (Handler, arg) pair.
 type event struct {
 	at  int64
 	seq uint64
-	fn  func()
+	fn  func() // nil for typed events
+	h   Handler
+	arg uint64
 }
 
-// before reports heap ordering: earlier time first, FIFO within a time.
+// run executes the event's action.
+func (e *event) run() {
+	if e.fn != nil {
+		e.fn()
+		return
+	}
+	e.h.OnEvent(e.arg)
+}
+
+// before reports dispatch ordering: earlier time first, FIFO within a time.
 func (e *event) before(o *event) bool {
 	if e.at != o.at {
 		return e.at < o.at
@@ -28,18 +57,53 @@ func (e *event) before(o *event) bool {
 	return e.seq < o.seq
 }
 
-// Engine is a discrete-event simulator clock and scheduler.
-// The zero value is ready to use at time 0.
-type Engine struct {
-	now       int64
-	seq       uint64
-	events    []event // 4-ary min-heap
-	processed uint64
-	stopped   bool
+// Scheduler selects the engine's pending-event structure.
+type Scheduler int
+
+const (
+	// SchedulerWheel is the hierarchical timing wheel (default): O(1)
+	// amortized scheduling with a fine-grained near-future window and a
+	// heap-backed overflow level for far events.
+	SchedulerWheel Scheduler = iota
+	// SchedulerHeap is the 4-ary min-heap, kept for differential testing
+	// against the wheel (TestSchedulerDifferentialRandomized).
+	SchedulerHeap
+)
+
+// EngineStats reports scheduler-level counters for one engine, for the
+// -eventstats harness output and perf investigations.
+type EngineStats struct {
+	Processed  uint64 // events executed
+	MaxPending int    // high-water mark of scheduled-but-unexecuted events
+	Wheel      uint64 // events scheduled directly into the wheel window
+	Overflow   uint64 // events that landed in the overflow level first
+	Turns      uint64 // wheel turns (overflow re-bucketing passes)
 }
 
-// New returns an Engine starting at simulated time 0.
+// Engine is a discrete-event simulator clock and scheduler.
+// The zero value is ready to use at time 0 with the timing-wheel scheduler.
+type Engine struct {
+	now        int64
+	seq        uint64
+	processed  uint64
+	stopped    bool
+	maxPending int
+
+	useHeap bool
+	heap    eventHeap
+	wheel   timingWheel
+}
+
+// New returns an Engine starting at simulated time 0, using the
+// timing-wheel scheduler.
 func New() *Engine { return &Engine{} }
+
+// NewWithScheduler returns an Engine using the given scheduler. Both
+// schedulers dispatch in identical (time, seq) order; SchedulerHeap exists
+// so differential tests can prove that.
+func NewWithScheduler(s Scheduler) *Engine {
+	return &Engine{useHeap: s == SchedulerHeap}
+}
 
 // Now returns the current simulated time in nanoseconds.
 func (e *Engine) Now() int64 { return e.now }
@@ -48,19 +112,34 @@ func (e *Engine) Now() int64 { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of scheduled-but-unexecuted events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int {
+	if e.useHeap {
+		return e.heap.len()
+	}
+	return e.wheel.len()
+}
 
-// Reserve grows the event heap's backing array so at least n events can be
-// pending without reallocation. Cluster setup calls it once with the
-// expected in-flight event count, so the hot scheduling path never pays for
-// incremental heap growth.
+// Stats returns the engine's scheduler counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Processed:  e.processed,
+		MaxPending: e.maxPending,
+		Wheel:      e.wheel.wheelEvents,
+		Overflow:   e.wheel.overflowEvents,
+		Turns:      e.wheel.turns,
+	}
+}
+
+// Reserve grows the pending-event storage so at least n events can be in
+// flight without reallocation. Cluster setup calls it once with the expected
+// steady-state event count, so the hot scheduling path never pays for
+// incremental growth.
 func (e *Engine) Reserve(n int) {
-	if cap(e.events) >= n {
+	if e.useHeap {
+		e.heap.reserve(n)
 		return
 	}
-	grown := make([]event, len(e.events), n)
-	copy(grown, e.events)
-	e.events = grown
+	e.wheel.reserve(n)
 }
 
 // Schedule runs fn after delay nanoseconds of simulated time.
@@ -83,69 +162,64 @@ func (e *Engine) At(t int64, fn func()) {
 	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
-// push inserts into the 4-ary heap (sift-up).
+// ScheduleEvent runs h.OnEvent(arg) after delay nanoseconds of simulated
+// time — the closure-free flavor of Schedule for pre-bound hot handlers.
+func (e *Engine) ScheduleEvent(delay int64, h Handler, arg uint64) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.AtEvent(e.now+delay, h, arg)
+}
+
+// AtEvent runs h.OnEvent(arg) at absolute simulated time t — the
+// closure-free flavor of At. Times in the past are clamped to the present.
+func (e *Engine) AtEvent(t int64, h Handler, arg uint64) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.push(event{at: t, seq: e.seq, h: h, arg: arg})
+}
+
+// push hands the event to the active scheduler and tracks the pending
+// high-water mark.
 func (e *Engine) push(ev event) {
-	e.events = append(e.events, ev)
-	i := len(e.events) - 1
-	for i > 0 {
-		parent := (i - 1) / 4
-		if !e.events[i].before(&e.events[parent]) {
-			break
-		}
-		e.events[i], e.events[parent] = e.events[parent], e.events[i]
-		i = parent
+	var pending int
+	if e.useHeap {
+		e.heap.push(ev)
+		pending = e.heap.len()
+	} else {
+		e.wheel.push(ev, e.now)
+		pending = e.wheel.len()
+	}
+	if pending > e.maxPending {
+		e.maxPending = pending
 	}
 }
 
-// pop removes the minimum event (sift-down).
-func (e *Engine) pop() event {
-	h := e.events
-	top := h[0]
-	last := len(h) - 1
-	h[0] = h[last]
-	h[last] = event{} // release the closure for GC
-	h = h[:last]
-	e.events = h
-
-	i := 0
-	for {
-		first := 4*i + 1
-		if first >= len(h) {
-			break
-		}
-		best := first
-		end := first + 4
-		if end > len(h) {
-			end = len(h)
-		}
-		for c := first + 1; c < end; c++ {
-			if h[c].before(&h[best]) {
-				best = c
-			}
-		}
-		if !h[best].before(&h[i]) {
-			break
-		}
-		h[i], h[best] = h[best], h[i]
-		i = best
+// popIfAtMost extracts the next event if its time is <= limit.
+func (e *Engine) popIfAtMost(limit int64) (event, bool) {
+	if e.useHeap {
+		return e.heap.popIfAtMost(limit)
 	}
-	return top
+	return e.wheel.popIfAtMost(limit)
 }
+
+const maxTime = int64(^uint64(0) >> 1)
 
 // Run executes events in timestamp order until the queue is empty, the
 // simulated clock passes until, or Stop is called. It returns the simulated
 // time at which it stopped. Events scheduled exactly at until are executed.
 func (e *Engine) Run(until int64) int64 {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		if e.events[0].at > until {
-			e.now = until
-			return e.now
+	for !e.stopped {
+		ev, ok := e.popIfAtMost(until)
+		if !ok {
+			break
 		}
-		ev := e.pop()
 		e.now = ev.at
 		e.processed++
-		ev.fn()
+		ev.run()
 	}
 	if e.now < until && !e.stopped {
 		e.now = until
@@ -158,11 +232,14 @@ func (e *Engine) Run(until int64) int64 {
 // and workloads known to quiesce.
 func (e *Engine) RunAll() int64 {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		ev := e.pop()
+	for !e.stopped {
+		ev, ok := e.popIfAtMost(maxTime)
+		if !ok {
+			break
+		}
 		e.now = ev.at
 		e.processed++
-		ev.fn()
+		ev.run()
 	}
 	return e.now
 }
@@ -170,13 +247,13 @@ func (e *Engine) RunAll() int64 {
 // Step executes exactly one event if any is pending and reports whether it
 // did.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	ev, ok := e.popIfAtMost(maxTime)
+	if !ok {
 		return false
 	}
-	ev := e.pop()
 	e.now = ev.at
 	e.processed++
-	ev.fn()
+	ev.run()
 	return true
 }
 

@@ -4,14 +4,23 @@ package sim
 // FIFO queue — the standard M/G/c service-center abstraction used throughout
 // the simulator. Two job flavors exist:
 //
-//   - Acquire: occupies one server for a fixed service time (message
-//     handling, request compute).
+//   - Acquire / AcquireEvent: occupies one server for a fixed service time
+//     (message handling, request compute).
 //   - AcquireHold: occupies one server until the job calls release — a
 //     run-to-completion worker blocking on a stalled operation. Holds are
 //     capped below the pool size so fixed jobs (which include the protocol
 //     messages that eventually unblock the holders) can never starve: this
 //     is what lets stalled reads deplete — but not deadlock — a node's
 //     worker pool, the paper's high-client-count degradation mechanism.
+//
+// The queue is two ring-buffer FIFOs (fixed jobs, holds) ordered by a shared
+// arrival sequence: dispatch pops the earlier head, except that the hold
+// queue is skipped while holds are at the cap. That makes dispatch O(1) per
+// started job — the old single-slice scan removed eligible jobs from the
+// middle, which degenerated to O(n^2) under the deep backlogs of the paper's
+// high-client-count runs. Fixed-job completions are typed engine events
+// (Handler + token into a recycled record slab), so the steady-state
+// dispatch cycle allocates nothing (TestPoolDeepQueueAllocs).
 type Pool struct {
 	eng      *Engine
 	size     int
@@ -19,7 +28,12 @@ type Pool struct {
 
 	busy  int
 	holds int
-	queue []poolJob
+	fifo  jobRing // fixed-service jobs
+	holdq jobRing // hold jobs, capped at maxHolds running
+	seq   uint64  // arrival order across both rings
+
+	done     []doneRec // fixed-job completion records, freelist-recycled
+	doneFree int32
 
 	jobs    uint64
 	busyAcc int64
@@ -27,11 +41,54 @@ type Pool struct {
 	sumWait int64
 }
 
+// poolJob is one queued request. Exactly one of done/doneH/hold describes
+// its completion; service applies to fixed jobs only.
 type poolJob struct {
-	at      int64 // enqueue time
+	seq     uint64 // arrival order across the two rings
+	at      int64  // enqueue time
 	service int64
 	done    func()
+	doneH   Handler // typed completion (with doneArg) when done is nil
+	doneArg uint64
 	hold    func(release func())
+}
+
+// doneRec parks a fixed job's completion across its service-time event.
+type doneRec struct {
+	done    func()
+	doneH   Handler
+	doneArg uint64
+	next    int32 // freelist link
+}
+
+// jobRing is a growable FIFO ring buffer of poolJobs.
+type jobRing struct {
+	buf  []poolJob
+	head int
+	n    int
+}
+
+func (r *jobRing) push(j poolJob) {
+	if r.n == len(r.buf) {
+		grown := make([]poolJob, max(4, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = j
+	r.n++
+}
+
+func (r *jobRing) front() *poolJob { return &r.buf[r.head] }
+
+func (r *jobRing) pop() poolJob {
+	j := r.buf[r.head]
+	r.buf[r.head] = poolJob{} // release the callbacks for GC
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return j
 }
 
 // NewPool creates a pool of n servers on engine eng. n must be >= 1.
@@ -43,7 +100,7 @@ func NewPool(eng *Engine, n int) *Pool {
 	if maxHolds < 1 {
 		maxHolds = 1 // single-server pools run holds without blocking (see AcquireHold)
 	}
-	return &Pool{eng: eng, size: n, maxHolds: maxHolds}
+	return &Pool{eng: eng, size: n, maxHolds: maxHolds, doneFree: -1}
 }
 
 // Acquire enqueues a fixed-service job; done (optional) runs at completion.
@@ -51,7 +108,20 @@ func (p *Pool) Acquire(service int64, done func()) {
 	if service < 0 {
 		service = 0
 	}
-	p.queue = append(p.queue, poolJob{at: p.eng.Now(), service: service, done: done})
+	p.seq++
+	p.fifo.push(poolJob{seq: p.seq, at: p.eng.Now(), service: service, done: done})
+	p.dispatch()
+}
+
+// AcquireEvent enqueues a fixed-service job whose completion runs
+// h.OnEvent(arg) — the closure-free flavor of Acquire for pre-bound hot
+// handlers (the protocol's message dispatch).
+func (p *Pool) AcquireEvent(service int64, h Handler, arg uint64) {
+	if service < 0 {
+		service = 0
+	}
+	p.seq++
+	p.fifo.push(poolJob{seq: p.seq, at: p.eng.Now(), service: service, doneH: h, doneArg: arg})
 	p.dispatch()
 }
 
@@ -64,27 +134,34 @@ func (p *Pool) AcquireHold(start func(release func())) {
 		start(func() {})
 		return
 	}
-	p.queue = append(p.queue, poolJob{at: p.eng.Now(), hold: start})
+	p.seq++
+	p.holdq.push(poolJob{seq: p.seq, at: p.eng.Now(), hold: start})
 	p.dispatch()
 }
 
-// dispatch starts every queue entry that can run: fixed jobs in FIFO order,
-// holds likewise but capped at maxHolds (later fixed jobs may bypass a
-// blocked hold so message processing never starves).
+// dispatch starts every queued job that can run: across the two rings in
+// arrival order, except that holds stop being eligible at maxHolds (later
+// fixed jobs then bypass the blocked holds so message processing never
+// starves).
 func (p *Pool) dispatch() {
 	for p.busy < p.size {
-		idx := -1
-		for i := range p.queue {
-			if p.queue[i].hold == nil || p.holds < p.maxHolds {
-				idx = i
-				break
+		fixedOK := p.fifo.n > 0
+		holdOK := p.holdq.n > 0 && p.holds < p.maxHolds
+		var j poolJob
+		switch {
+		case fixedOK && holdOK:
+			if p.fifo.front().seq < p.holdq.front().seq {
+				j = p.fifo.pop()
+			} else {
+				j = p.holdq.pop()
 			}
-		}
-		if idx < 0 {
+		case fixedOK:
+			j = p.fifo.pop()
+		case holdOK:
+			j = p.holdq.pop()
+		default:
 			return
 		}
-		j := p.queue[idx]
-		p.queue = append(p.queue[:idx], p.queue[idx+1:]...)
 		p.startJob(j)
 	}
 }
@@ -115,13 +192,36 @@ func (p *Pool) startJob(j poolJob) {
 		return
 	}
 	p.busyAcc += j.service
-	p.eng.Schedule(j.service, func() {
-		p.busy--
-		if j.done != nil {
-			j.done()
-		}
-		p.dispatch()
-	})
+	p.eng.ScheduleEvent(j.service, p, uint64(p.allocDone(j)))
+}
+
+// allocDone parks j's completion in a recycled record and returns its token.
+func (p *Pool) allocDone(j poolJob) int32 {
+	ni := p.doneFree
+	if ni >= 0 {
+		p.doneFree = p.done[ni].next
+	} else {
+		p.done = append(p.done, doneRec{})
+		ni = int32(len(p.done) - 1)
+	}
+	p.done[ni] = doneRec{done: j.done, doneH: j.doneH, doneArg: j.doneArg}
+	return ni
+}
+
+// OnEvent completes the fixed job parked at token arg: free a server, fire
+// the completion, refill from the queue. It implements Handler so the
+// service-time event schedules closure-free.
+func (p *Pool) OnEvent(arg uint64) {
+	rec := p.done[arg]
+	p.done[arg] = doneRec{next: p.doneFree}
+	p.doneFree = int32(arg)
+	p.busy--
+	if rec.done != nil {
+		rec.done()
+	} else if rec.doneH != nil {
+		rec.doneH.OnEvent(rec.doneArg)
+	}
+	p.dispatch()
 }
 
 // Jobs returns the number of jobs started.
@@ -146,3 +246,6 @@ func (p *Pool) Size() int { return p.size }
 
 // Held returns how many servers are currently blocked in holds.
 func (p *Pool) Held() int { return p.holds }
+
+// Queued returns the number of jobs waiting for a server.
+func (p *Pool) Queued() int { return p.fifo.n + p.holdq.n }

@@ -1,0 +1,225 @@
+package sim
+
+import "math/bits"
+
+// The timing wheel is a calendar queue tuned to the simulator's event-time
+// distribution: almost every event lands within a few microseconds of the
+// present (NIC serialization ~10 ns, NVM accesses 140-400 ns, one-way
+// propagation 500-1000 ns, lazy persist/propagation 2-4 us), so a
+// fine-grained near-future window turns scheduling into an O(1) array
+// append and dispatch into an O(1) bitmap scan, replacing the heap's
+// O(log n) sift on both sides.
+//
+// Layout. The window covers wheelSlots (16384) one-nanosecond buckets
+// starting at wnow, the time of the most recently dispatched event. A
+// bucket is an intrusive FIFO chain through a shared node slab (freelist
+// recycled, so steady-state scheduling allocates nothing and cold buckets
+// cost 8 bytes, not a slice). Because each bucket spans exactly 1 ns and
+// the window spans wheelSlots ns, a bucket holds events of exactly one
+// timestamp at a time; appending in schedule order therefore keeps every
+// chain sorted by seq, and dispatching buckets in circular order from
+// wnow's cursor replays the exact (time, seq) order the heap would produce
+// — determinism is bit-for-bit unchanged (see
+// TestSchedulerDifferentialRandomized and the golden 5x5 fixture).
+//
+// Events beyond the window land in an overflow level (the 4-ary heap,
+// ordered by (time, seq)); they are re-bucketed into the window on wheel
+// turn — whenever the window empties, or as soon as the advancing wnow
+// brings them within horizon. Far events are rare (transaction backoffs,
+// saturated-NIC arrivals), so the heap never grows past a handful of
+// entries in practice.
+//
+// Occupancy is tracked by a two-level bitmap: one bit per bucket (occ) and
+// one bit per occ word (sum), so finding the next non-empty bucket from the
+// cursor is a handful of masked TrailingZeros64 calls regardless of how
+// sparse the window is.
+const (
+	wheelBits  = 14
+	wheelSlots = 1 << wheelBits // 16384 ns near-future window
+	wheelMask  = wheelSlots - 1
+	occWords   = wheelSlots / 64
+	sumWords   = occWords / 64
+)
+
+// eventNode is one slab entry: an event plus its intra-bucket chain link.
+type eventNode struct {
+	ev   event
+	next int32
+}
+
+// timingWheel is the engine's default scheduler. The zero value is ready to
+// use; storage is allocated on first push.
+type timingWheel struct {
+	head []int32  // per-bucket chain head into nodes, -1 = empty
+	tail []int32  // per-bucket chain tail (append side)
+	occ  []uint64 // one bit per bucket
+	sum  [sumWords]uint64 // one bit per occ word
+
+	nodes []eventNode
+	free  int32 // freelist head into nodes, -1 = none
+
+	count int   // events currently in the window
+	wnow  int64 // window start: time of the last dispatched event
+
+	overflow eventHeap // events at >= wnow+wheelSlots, keyed (time, seq)
+
+	wheelEvents    uint64 // scheduled directly into the window
+	overflowEvents uint64 // landed in the overflow level first
+	turns          uint64 // re-bucketing passes
+}
+
+func (w *timingWheel) len() int { return w.count + w.overflow.len() }
+
+func (w *timingWheel) grow() {
+	w.head = make([]int32, wheelSlots)
+	w.tail = make([]int32, wheelSlots)
+	for i := range w.head {
+		w.head[i] = -1
+	}
+	w.occ = make([]uint64, occWords)
+	w.free = -1
+}
+
+// reserve presizes the node slab for n in-flight events.
+func (w *timingWheel) reserve(n int) {
+	if w.head == nil {
+		w.grow()
+	}
+	if cap(w.nodes) < n {
+		grown := make([]eventNode, len(w.nodes), n)
+		copy(grown, w.nodes)
+		w.nodes = grown
+	}
+}
+
+// push schedules ev. now is the engine clock, which lower-bounds every
+// future event time and so can safely re-base an empty wheel's window.
+func (w *timingWheel) push(ev event, now int64) {
+	if w.head == nil {
+		w.grow()
+	}
+	if w.count == 0 && w.overflow.len() == 0 && now > w.wnow {
+		// Nothing pending: snap the window to the present so an idle gap
+		// does not push near-future events into the overflow level.
+		w.wnow = now
+	}
+	if ev.at-w.wnow < wheelSlots {
+		w.insert(ev)
+		w.wheelEvents++
+		return
+	}
+	w.overflow.push(ev)
+	w.overflowEvents++
+}
+
+// insert appends ev to its bucket's chain. Only called with
+// ev.at in [wnow, wnow+wheelSlots).
+func (w *timingWheel) insert(ev event) {
+	slot := int32(ev.at) & wheelMask
+	ni := w.alloc(ev)
+	if w.head[slot] < 0 {
+		w.head[slot] = ni
+		w.occ[slot>>6] |= 1 << uint(slot&63)
+		w.sum[slot>>12] |= 1 << uint((slot>>6)&63)
+	} else {
+		w.nodes[w.tail[slot]].next = ni
+	}
+	w.tail[slot] = ni
+	w.count++
+}
+
+// alloc takes a node off the freelist, or grows the slab.
+func (w *timingWheel) alloc(ev event) int32 {
+	if ni := w.free; ni >= 0 {
+		n := &w.nodes[ni]
+		w.free = n.next
+		n.ev = ev
+		n.next = -1
+		return ni
+	}
+	w.nodes = append(w.nodes, eventNode{ev: ev, next: -1})
+	return int32(len(w.nodes) - 1)
+}
+
+// drainOverflow re-buckets every overflow event the window now covers.
+// Popping the overflow heap in (time, seq) order keeps bucket chains
+// seq-sorted.
+func (w *timingWheel) drainOverflow() {
+	for w.overflow.len() > 0 && w.overflow.peek().at-w.wnow < wheelSlots {
+		w.insert(w.overflow.pop())
+	}
+}
+
+// popIfAtMost extracts the next event in (time, seq) order if its time is
+// <= limit.
+func (w *timingWheel) popIfAtMost(limit int64) (event, bool) {
+	if w.count == 0 {
+		if w.overflow.len() == 0 {
+			return event{}, false
+		}
+		// Wheel turn: the window emptied. Re-bucket what fits; if the next
+		// event is still beyond the horizon, dispatch it straight from the
+		// overflow level (its time re-bases the window for the events after
+		// it).
+		w.turns++
+		w.drainOverflow()
+		if w.count == 0 {
+			ev, ok := w.overflow.popIfAtMost(limit)
+			if ok {
+				w.wnow = ev.at
+			}
+			return ev, ok
+		}
+	} else if w.overflow.len() > 0 {
+		// wnow advanced since the last pop: far events may fit the window
+		// now, and they could precede everything currently bucketed.
+		w.drainOverflow()
+	}
+
+	slot := w.firstOccupied()
+	ni := w.head[slot]
+	n := &w.nodes[ni]
+	if n.ev.at > limit {
+		return event{}, false
+	}
+	ev := n.ev
+	w.head[slot] = n.next
+	if n.next < 0 {
+		w.occ[slot>>6] &^= 1 << uint(slot&63)
+		if w.occ[slot>>6] == 0 {
+			w.sum[slot>>12] &^= 1 << uint((slot>>6)&63)
+		}
+	}
+	n.ev = event{} // release the closure/handler for GC
+	n.next = w.free
+	w.free = ni
+	w.count--
+	w.wnow = ev.at
+	return ev, true
+}
+
+// firstOccupied returns the first non-empty bucket in circular order from
+// wnow's cursor — the bucket holding the earliest pending time. Call only
+// when count > 0.
+func (w *timingWheel) firstOccupied() int32 {
+	c := int32(w.wnow) & wheelMask
+	wi := c >> 6
+	// Bits at or above the cursor within its own word.
+	if word := w.occ[wi] &^ (1<<uint(c&63) - 1); word != 0 {
+		return wi<<6 | int32(bits.TrailingZeros64(word))
+	}
+	// Scan the following occ words via the summary bitmap, wrapping once;
+	// the final iteration re-reads the cursor's word in full, which covers
+	// the buckets below the cursor (the wrapped end of the window).
+	si := wi >> 6
+	sword := w.sum[si] &^ (1<<uint((wi&63)+1) - 1) // words strictly after wi
+	for k := 0; k <= sumWords; k++ {
+		if sword != 0 {
+			wj := si<<6 | int32(bits.TrailingZeros64(sword))
+			return wj<<6 | int32(bits.TrailingZeros64(w.occ[wj]))
+		}
+		si = (si + 1) & (sumWords - 1)
+		sword = w.sum[si]
+	}
+	return -1 // unreachable while count > 0
+}

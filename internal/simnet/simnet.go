@@ -124,18 +124,32 @@ func (n *Network) serialization(size int) int64 {
 
 // delivery carries one in-flight message through its two scheduled hops:
 // arrival at the destination NIC, then handler dispatch after receive-side
-// serialization. Records — and the event closures bound to them — are pooled
-// per network so the steady-state send path allocates nothing.
+// serialization. Records are pooled per network and both hops are typed
+// engine events on the record itself, so the steady-state send path
+// schedules zero closures and allocates nothing.
 type delivery struct {
-	n         *Network
-	msg       Message
-	ser       int64
-	arriveFn  func() // d.arrive, bound once at creation and reused
-	deliverFn func() // d.deliver, bound once at creation and reused
+	n   *Network
+	msg Message
+	ser int64
 }
 
-// newDelivery pops a recycled record or creates one with its event closures
-// pre-bound.
+// The two hops of a delivery, as typed-event arguments.
+const (
+	hopArrive = iota
+	hopDeliver
+)
+
+// OnEvent advances the delivery through its hops. It implements sim.Handler
+// so the record's events schedule closure-free.
+func (d *delivery) OnEvent(arg uint64) {
+	if arg == hopArrive {
+		d.arrive()
+		return
+	}
+	d.deliver()
+}
+
+// newDelivery pops a recycled record or creates one.
 func (n *Network) newDelivery() *delivery {
 	if k := len(n.free); k > 0 {
 		d := n.free[k-1]
@@ -143,10 +157,7 @@ func (n *Network) newDelivery() *delivery {
 		n.free = n.free[:k-1]
 		return d
 	}
-	d := &delivery{n: n}
-	d.arriveFn = d.arrive
-	d.deliverFn = d.deliver
-	return d
+	return &delivery{n: n}
 }
 
 // arrive runs when the message reaches the destination NIC: the receive-side
@@ -160,7 +171,7 @@ func (d *delivery) arrive() {
 	}
 	rxDone := rxStart + d.ser
 	n.rxFree[d.msg.To] = rxDone
-	n.eng.At(rxDone, d.deliverFn)
+	n.eng.AtEvent(rxDone, d, hopDeliver)
 }
 
 // deliver hands the message to the destination handler and recycles the
@@ -238,7 +249,7 @@ func (n *Network) Send(msg Message) {
 	d := n.newDelivery()
 	d.msg = msg
 	d.ser = ser
-	n.eng.At(arrive, d.arriveFn)
+	n.eng.AtEvent(arrive, d, hopArrive)
 }
 
 // Broadcast sends a copy of msg from its From node to every other node.
