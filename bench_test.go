@@ -7,10 +7,15 @@
 package repro_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
+	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/params"
+	"repro/internal/ycsb"
 )
 
 // benchOptions picks a reduced-but-representative configuration so the
@@ -25,6 +30,41 @@ func benchOptions() harness.Options {
 
 func reportThroughput(b *testing.B, name string, v float64) {
 	b.ReportMetric(v, name)
+}
+
+// BenchmarkSingleCellLPs measures one full-scale <Linearizable, Synchronous>
+// cell (5 servers x 20 clients, the paper's default) on the intra-cell
+// logical-process engine at 1, 2, and 4 workers, against the sequential
+// engine as baseline. Results are byte-identical across all four variants
+// (see internal/cluster's differential tests); only wall-clock time may
+// differ. results/BENCH_pdes.json records a measured before/after pair.
+func BenchmarkSingleCellLPs(b *testing.B) {
+	base := cluster.Config{
+		Model:     core.Model{C: core.Linearizable, P: core.Synchronous},
+		Workload:  ycsb.WorkloadA,
+		Params:    params.Default(),
+		Seed:      1,
+		WarmupNs:  1_000_000,
+		MeasureNs: 5_000_000,
+	}
+	run := func(b *testing.B, cfg cluster.Config) {
+		for i := 0; i < b.N; i++ {
+			r, err := cluster.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(r.Events), "events")
+				b.ReportMetric(r.Throughput()/1e6, "Mops/sim-s")
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, base) })
+	for _, w := range []int{1, 2, 4} {
+		cfg := base
+		cfg.IntraParallel = w
+		b.Run(fmt.Sprintf("lps=%d", w), func(b *testing.B) { run(b, cfg) })
+	}
 }
 
 // BenchmarkTable1 regenerates the Section 3 motivation experiment

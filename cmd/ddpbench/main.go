@@ -7,7 +7,11 @@
 // Performance investigation flags: -cpuprofile/-memprofile write pprof
 // profiles covering the experiment run; -eventstats prints per-cell
 // event-scheduler counters (events/sim-second, peak queue depth, timing-wheel
-// occupancy) on stderr alongside the normal progress lines.
+// occupancy) on stderr alongside the normal progress lines, plus
+// logical-process synchronizer counters (epochs, cross-LP mail) when -lps
+// engages the parallel intra-cell engine. -parallel and -lps share the core
+// budget (cells x LP workers never exceeds GOMAXPROCS); neither changes any
+// reported number.
 package main
 
 import (
@@ -27,6 +31,7 @@ func main() {
 	engine := flag.String("engine", "", "kv engine: hashtable, map, btree, bplustree, memcache, walstore (default hashtable)")
 	csvOut := flag.Bool("csv", false, "emit tidy CSV instead of text (fig6/fig7/fig8/fig9/durability)")
 	parallel := flag.Int("parallel", 0, "experiment cells to run concurrently (0 = all cores, 1 = sequential; never changes results)")
+	lps := flag.Int("lps", 1, "logical-process workers inside each cell (1 = sequential engine, 0 = auto-split cores with -parallel, N = N workers; never changes results)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
 	eventstats := flag.Bool("eventstats", false, "print per-cell event-scheduler stats on stderr")
@@ -36,6 +41,7 @@ func main() {
 	o.Seed = *seed
 	o.Engine = *engine
 	o.Parallel = *parallel
+	o.LPs = *lps
 	o.Progress = os.Stderr
 	o.EventStats = *eventstats
 	if *quick {

@@ -15,6 +15,7 @@ import (
 type client struct {
 	id   int
 	cl   *Cluster
+	ns   *nodeState // the client's home node: engine + measurement sinks
 	node *protocol.Replica
 	gen  *ycsb.Generator
 	rng  *sim.RNG
@@ -80,8 +81,8 @@ func (r *opRec) readDone(st protocol.Stamp) {
 	c, key, start := r.c, r.key, r.start
 	c.putRec(r)
 	c.outstanding--
-	c.cl.recordRead(c.cl.Eng.Now() - start)
-	c.cl.logRead(ReadRecord{Key: key, Stamp: st, Client: c.id, Node: c.node.ID(), IssueAt: start, DoneAt: c.cl.Eng.Now()})
+	c.ns.recordRead(c.ns.eng.Now() - start)
+	c.ns.logRead(ReadRecord{Key: key, Stamp: st, Client: c.id, Node: c.node.ID(), IssueAt: start, DoneAt: c.ns.eng.Now()})
 	c.opsInScope++
 	c.next()
 }
@@ -92,9 +93,9 @@ func (r *opRec) writeDone(st protocol.Stamp) {
 	c, key, scope, start := r.c, r.key, r.scope, r.start
 	c.putRec(r)
 	c.outstanding--
-	c.cl.recordWrite(c.cl.Eng.Now() - start)
-	idx := c.cl.logWrite(WriteRecord{
-		Key: key, Stamp: st, Client: c.id, IssueAt: start, AckAt: c.cl.Eng.Now(),
+	c.ns.recordWrite(c.ns.eng.Now() - start)
+	idx := c.ns.logWrite(WriteRecord{
+		Key: key, Stamp: st, Client: c.id, IssueAt: start, AckAt: c.ns.eng.Now(),
 		Scope: scope, ScopePersisted: !c.scoped(),
 	})
 	if idx >= 0 && c.scoped() {
@@ -109,13 +110,13 @@ func (r *opRec) scanDone() {
 	c, start := r.c, r.start
 	c.putRec(r)
 	c.outstanding--
-	c.cl.recordRead(c.cl.Eng.Now() - start)
+	c.ns.recordRead(c.ns.eng.Now() - start)
 	c.opsInScope++
 	c.next()
 }
 
-func newClient(id int, cl *Cluster, node *protocol.Replica, gen *ycsb.Generator, rng *sim.RNG) *client {
-	return &client{id: id, cl: cl, node: node, gen: gen, rng: rng, scopeSeq: 1}
+func newClient(id int, cl *Cluster, ns *nodeState, node *protocol.Replica, gen *ycsb.Generator, rng *sim.RNG) *client {
+	return &client{id: id, cl: cl, ns: ns, node: node, gen: gen, rng: rng, scopeSeq: 1}
 }
 
 func min(a, b int) int {
@@ -184,7 +185,7 @@ func (c *client) issueOne() {
 	rec := c.getRec()
 	rec.key = op.Key
 	rec.scope = 0
-	rec.start = c.cl.Eng.Now()
+	rec.start = c.ns.eng.Now()
 	switch op.Kind {
 	case ycsb.OpScan:
 		c.node.ClientScan(op.Key, op.ScanLen, rec.onScan)
@@ -206,11 +207,11 @@ func (c *client) persistScope(cont func()) {
 	c.scopeRecs = nil
 	c.scopeSeq++
 	c.opsInScope = 0
-	start := c.cl.Eng.Now()
+	start := c.ns.eng.Now()
 	c.node.ClientPersistScope(scope, func() {
-		c.cl.recordScope(c.cl.Eng.Now() - start)
+		c.ns.recordScope(c.ns.eng.Now() - start)
 		for _, i := range recs {
-			c.cl.writeLog[i].ScopePersisted = true
+			c.ns.writeLog[i].ScopePersisted = true
 		}
 		cont()
 	})
@@ -230,7 +231,7 @@ func (c *client) startTxn() {
 	}
 	c.txnFirst = make([]int64, n)
 	c.txnStamps = make([]protocol.Stamp, n)
-	c.txnStarted = c.cl.Eng.Now()
+	c.txnStarted = c.ns.eng.Now()
 	c.txnAttempts = 0
 	c.attemptTxn()
 }
@@ -265,7 +266,7 @@ func (c *client) txnStep(gen, id uint64, idx int) {
 		return
 	}
 	op := c.txnOps[idx]
-	now := c.cl.Eng.Now()
+	now := c.ns.eng.Now()
 	if c.txnFirst[idx] == 0 {
 		c.txnFirst[idx] = now
 	}
@@ -279,8 +280,8 @@ func (c *client) txnStep(gen, id uint64, idx int) {
 			// and measured per attempt; the retry cost of conflicts lands on
 			// the writes, whose latency spans to the commit (Section 8.1.1:
 			// writes bunch up and pay for restarts).
-			c.cl.recordRead(c.cl.Eng.Now() - issuedAt)
-			c.cl.logRead(ReadRecord{Key: op.Key, Stamp: st, Client: c.id, Node: c.node.ID(), IssueAt: issuedAt, DoneAt: c.cl.Eng.Now()})
+			c.ns.recordRead(c.ns.eng.Now() - issuedAt)
+			c.ns.logRead(ReadRecord{Key: op.Key, Stamp: st, Client: c.id, Node: c.node.ID(), IssueAt: issuedAt, DoneAt: c.ns.eng.Now()})
 			c.txnStep(gen, id, idx+1)
 		})
 		return
@@ -297,13 +298,13 @@ func (c *client) txnStep(gen, id uint64, idx int) {
 // txnCommitted records the committed writes — a transactional write is only
 // "satisfied" once its transaction commits (Section 8.1.1) — and loops.
 func (c *client) txnCommitted() {
-	now := c.cl.Eng.Now()
+	now := c.ns.eng.Now()
 	for i, op := range c.txnOps {
 		if op.Kind != ycsb.OpWrite {
 			continue
 		}
-		c.cl.recordWrite(now - c.txnFirst[i])
-		idx := c.cl.logWrite(WriteRecord{
+		c.ns.recordWrite(now - c.txnFirst[i])
+		idx := c.ns.logWrite(WriteRecord{
 			Key: op.Key, Stamp: c.txnStamps[i], Client: c.id, IssueAt: c.txnFirst[i], AckAt: now,
 			Scope: c.curScope(), ScopePersisted: !c.scoped(),
 		})
@@ -328,49 +329,10 @@ func (c *client) txnAborted(gen uint64) {
 	backoff := c.cl.Cfg.Params.RetryBackoff
 	scale := int64(1) << uint(min(c.txnAttempts-1, 3))
 	delay := backoff*scale + c.rng.Int63n(backoff*scale+1)
-	c.cl.Eng.Schedule(delay, func() {
+	c.ns.eng.Schedule(delay, func() {
 		if c.txnGen != resume {
 			return
 		}
 		c.attemptTxn()
 	})
-}
-
-// ---------------------------------------------------------------------------
-// Cluster-side recording
-// ---------------------------------------------------------------------------
-
-func (c *Cluster) recordRead(lat int64) {
-	if c.measuring {
-		c.readHist.Record(lat)
-	}
-}
-
-func (c *Cluster) recordWrite(lat int64) {
-	if c.measuring {
-		c.writeHist.Record(lat)
-	}
-}
-
-func (c *Cluster) recordScope(lat int64) {
-	if c.measuring {
-		c.scopeHist.Record(lat)
-	}
-}
-
-// logWrite appends to the write history when tracking, returning the record
-// index (or -1).
-func (c *Cluster) logWrite(rec WriteRecord) int {
-	if !c.Cfg.TrackHistory {
-		return -1
-	}
-	c.writeLog = append(c.writeLog, rec)
-	return len(c.writeLog) - 1
-}
-
-func (c *Cluster) logRead(rec ReadRecord) {
-	if !c.Cfg.TrackHistory {
-		return
-	}
-	c.readLog = append(c.readLog, rec)
 }

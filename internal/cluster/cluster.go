@@ -7,6 +7,13 @@
 // returns throughput, latency distributions, protocol metrics, and traffic
 // accounting — everything the harness needs to regenerate the paper's
 // tables and figures.
+//
+// The cell runs on one of two engines that produce byte-identical results
+// (see DESIGN.md, "Per-node logical processes"): the sequential engine (one
+// event loop for the whole cluster; Config.IntraParallel <= 1, the default)
+// and the LP engine (one event loop per server node, advanced in lock-step
+// epochs of the network lookahead on concurrent workers;
+// Config.IntraParallel >= 2).
 package cluster
 
 import (
@@ -38,6 +45,14 @@ type Config struct {
 	// Zero values take the defaults (1 ms warmup, 5 ms measurement).
 	WarmupNs  int64
 	MeasureNs int64
+
+	// IntraParallel is how many worker goroutines advance this cell's
+	// per-node logical processes concurrently. Values <= 1 select the
+	// sequential engine (the default, and the only choice on single-core
+	// hosts); values >= 2 select the LP engine, clamped to the server
+	// count. Never changes any reported number — only wall-clock time.
+	// Ignored (sequential) when TraceProtocol is set or Servers == 1.
+	IntraParallel int
 
 	// TrackHistory records every acknowledged write and completed read for
 	// the recovery and intuition checkers. Costs memory; off by default.
@@ -116,8 +131,12 @@ type Result struct {
 	WallTime  time.Duration
 
 	// Event-scheduler counters for the run (queue depth, wheel/overflow
-	// split) — surfaced by the harness under -eventstats.
+	// split), summed across per-node engines under the LP engine —
+	// surfaced by the harness under -eventstats.
 	Sched sim.EngineStats
+
+	// LP synchronizer counters; Workers is 0 under the sequential engine.
+	LP sim.LPStats
 
 	// Histories (only when Config.TrackHistory).
 	Writes []WriteRecord
@@ -127,10 +146,69 @@ type Result struct {
 // Throughput returns measured operations per simulated second.
 func (r *Result) Throughput() float64 { return r.Summary.Throughput }
 
+// nodeState is the per-server-node slice of cluster-side state: the node's
+// engine plus the measurement sinks its clients record into. Under the
+// sequential engine every node shares one engine but still records into its
+// own sinks; histogram counters and log entries merge exactly (integer
+// sums, per-node concatenation), so sharding them is invisible to results
+// while making every sink single-LP-owned under the LP engine.
+type nodeState struct {
+	eng       *sim.Engine
+	measuring bool
+
+	readHist  stats.Histogram
+	writeHist stats.Histogram
+	scopeHist stats.Histogram
+
+	writeLog []WriteRecord
+	readLog  []ReadRecord
+
+	track bool
+}
+
+func (ns *nodeState) recordRead(lat int64) {
+	if ns.measuring {
+		ns.readHist.Record(lat)
+	}
+}
+
+func (ns *nodeState) recordWrite(lat int64) {
+	if ns.measuring {
+		ns.writeHist.Record(lat)
+	}
+}
+
+func (ns *nodeState) recordScope(lat int64) {
+	if ns.measuring {
+		ns.scopeHist.Record(lat)
+	}
+}
+
+// logWrite appends to the node's write history when tracking, returning the
+// record index (or -1).
+func (ns *nodeState) logWrite(rec WriteRecord) int {
+	if !ns.track {
+		return -1
+	}
+	ns.writeLog = append(ns.writeLog, rec)
+	return len(ns.writeLog) - 1
+}
+
+func (ns *nodeState) logRead(rec ReadRecord) {
+	if !ns.track {
+		return
+	}
+	ns.readLog = append(ns.readLog, rec)
+}
+
 // Cluster is a fully wired simulation, ready to run. Most callers use Run;
 // the recovery package builds a Cluster directly to crash it mid-flight.
 type Cluster struct {
-	Cfg      Config
+	Cfg Config
+	// Eng is the shared engine under the sequential engine (the default);
+	// nil under the LP engine, whose per-node engines are private to the
+	// synchronizer. Direct-drive callers (recovery, timelines, checkers)
+	// use the sequential engine.
 	Eng      *sim.Engine
 	Net      *simnet.Network
 	Replicas []*protocol.Replica
@@ -138,16 +216,18 @@ type Cluster struct {
 	Workers  []*sim.Pool
 	Clients  []*client
 
-	readHist  stats.Histogram
-	writeHist stats.Histogram
-	scopeHist stats.Histogram
-	measuring bool
-
-	writeLog []WriteRecord
-	readLog  []ReadRecord
+	nodes []*nodeState
+	lps   *sim.LPGroup
 
 	// Trace holds protocol events when Config.TraceProtocol is set.
 	Trace *trace.Log
+}
+
+// useLP reports whether cfg selects the LP engine. Tracing needs the
+// sequential engine (a single global event order to narrate), and a
+// one-server cluster has no cross-node lookahead to exploit.
+func (cfg Config) useLP() bool {
+	return cfg.IntraParallel > 1 && !cfg.TraceProtocol && cfg.Params.Servers > 1
 }
 
 // New builds a cluster per cfg. It validates parameters and the engine name.
@@ -165,27 +245,62 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	p := cfg.Params
-	eng := sim.New()
-	// Size the event heap for the steady-state load (in-flight messages,
-	// device completions, client timers) so the hot loop never regrows it.
-	eng.Reserve(1024 + p.Servers*p.ClientsPerServer*8)
-	net := simnet.New(eng, simnet.Config{
+	netCfg := simnet.Config{
 		Nodes:      p.Servers,
 		OneWayLat:  p.OneWayNet(),
 		Jitter:     p.NetJitter,
 		Bandwidth:  p.NetBandwidth,
 		QueuePairs: p.QueuePairs,
 		Seed:       cfg.Seed,
-	})
-	c := &Cluster{Cfg: cfg, Eng: eng, Net: net}
+	}
+	useLP := cfg.useLP()
+	if useLP {
+		if err := netCfg.ValidateLP(); err != nil {
+			return nil, fmt.Errorf("cluster: IntraParallel=%d: %w", cfg.IntraParallel, err)
+		}
+	}
+
+	c := &Cluster{Cfg: cfg}
+	var net *simnet.Network
+	if useLP {
+		engs := make([]*sim.Engine, p.Servers)
+		for i := range engs {
+			engs[i] = sim.New()
+			// Size each node's event storage for its own steady-state
+			// share of in-flight messages, device completions, and client
+			// timers.
+			engs[i].Reserve(1024 + p.ClientsPerServer*16)
+			c.nodes = append(c.nodes, &nodeState{eng: engs[i], track: cfg.TrackHistory})
+		}
+		net = simnet.NewParallel(engs, netCfg)
+		c.lps = sim.NewLPGroup(engs, netCfg.Lookahead(), cfg.IntraParallel,
+			func() { net.DeliverMail() })
+	} else {
+		eng := sim.New()
+		// Size the event heap for the steady-state load (in-flight
+		// messages, device completions, client timers) so the hot loop
+		// never regrows it.
+		eng.Reserve(1024 + p.Servers*p.ClientsPerServer*8)
+		c.Eng = eng
+		for i := 0; i < p.Servers; i++ {
+			c.nodes = append(c.nodes, &nodeState{eng: eng, track: cfg.TrackHistory})
+		}
+		net = simnet.New(eng, netCfg)
+	}
+	c.Net = net
+
 	var tracer func(node int, what string)
 	if cfg.TraceProtocol {
 		c.Trace = trace.New()
+		eng := c.Eng
 		tracer = func(node int, what string) { c.Trace.Add(eng.Now(), node, what) }
 	}
+	// One RNG root forked in a fixed order regardless of engine choice, so
+	// both engines build byte-identical initial states.
 	rng := sim.NewRNG(cfg.Seed ^ 0xddf0ddf0)
 
 	for i := 0; i < p.Servers; i++ {
+		eng := c.nodes[i].eng
 		vol, _ := engines.New(cfg.Engine)
 		img, _ := engines.New(cfg.Engine)
 		dev := nvm.New(eng, nvm.NVMConfig(p.NVMReadLat, p.NVMWriteLat, p.NVMChannels, p.NVMBanks))
@@ -193,16 +308,17 @@ func New(cfg Config) (*Cluster, error) {
 		c.Devices = append(c.Devices, dev)
 		c.Workers = append(c.Workers, workers)
 		c.Replicas = append(c.Replicas, protocol.NewReplica(i, protocol.Deps{
-			Eng:     eng,
-			P:       p,
-			Model:   cfg.Model,
-			Net:     net,
-			NVM:     dev,
-			Mem:     memhier.New(p, rng.Fork()),
-			Workers: workers,
-			Vol:     vol,
-			Img:     img,
-			Trace:   tracer,
+			Eng:        eng,
+			P:          p,
+			Model:      cfg.Model,
+			Net:        net,
+			NVM:        dev,
+			Mem:        memhier.New(p, rng.Fork()),
+			Workers:    workers,
+			Vol:        vol,
+			Img:        img,
+			Trace:      tracer,
+			AtomicRefs: useLP,
 		}))
 	}
 
@@ -213,7 +329,7 @@ func New(cfg Config) (*Cluster, error) {
 		for k := 0; k < p.ClientsPerServer; k++ {
 			kc := ycsb.NewZipfian(p.Keys, p.ZipfTheta)
 			gen := ycsb.NewGenerator(cfg.Workload, kc, rng.Fork())
-			c.Clients = append(c.Clients, newClient(id, c, c.Replicas[n], gen, rng.Fork()))
+			c.Clients = append(c.Clients, newClient(id, c, c.nodes[n], c.Replicas[n], gen, rng.Fork()))
 			id++
 		}
 	}
@@ -224,32 +340,54 @@ func New(cfg Config) (*Cluster, error) {
 func (c *Cluster) Start() {
 	for _, cl := range c.Clients {
 		cl := cl
-		c.Eng.Schedule(0, cl.start)
+		cl.ns.eng.Schedule(0, cl.start)
 	}
 }
 
 // BeginMeasurement switches latency/throughput recording on.
-func (c *Cluster) BeginMeasurement() { c.measuring = true }
+func (c *Cluster) BeginMeasurement() {
+	for _, ns := range c.nodes {
+		ns.measuring = true
+	}
+}
 
 // StopMeasurement switches recording off.
-func (c *Cluster) StopMeasurement() { c.measuring = false }
+func (c *Cluster) StopMeasurement() {
+	for _, ns := range c.nodes {
+		ns.measuring = false
+	}
+}
 
 // Collect assembles the Result after a run. window is the measured
 // simulated duration.
 func (c *Cluster) Collect(window int64, wall time.Duration) *Result {
 	res := &Result{
 		Config:    c.Cfg,
-		ReadHist:  c.readHist,
-		WriteHist: c.writeHist,
-		ScopeHist: c.scopeHist,
-		SimTimeNs: c.Eng.Now(),
-		Events:    c.Eng.Processed(),
+		SimTimeNs: c.nodes[0].eng.Now(),
 		WallTime:  wall,
-		Sched:     c.Eng.Stats(),
-		Writes:    c.writeLog,
-		Reads:     c.readLog,
 	}
-	res.Summary = stats.Summarize(&c.readHist, &c.writeHist, window)
+	// Per-node measurement shards merge exactly: histogram buckets are
+	// integer counters, and log concatenation in node order preserves each
+	// client's record order (a client is pinned to one node).
+	for _, ns := range c.nodes {
+		res.ReadHist.Merge(&ns.readHist)
+		res.WriteHist.Merge(&ns.writeHist)
+		res.ScopeHist.Merge(&ns.scopeHist)
+		res.Writes = append(res.Writes, ns.writeLog...)
+		res.Reads = append(res.Reads, ns.readLog...)
+	}
+	if c.lps != nil {
+		for _, ns := range c.nodes {
+			res.Events += ns.eng.Processed()
+			res.Sched.Merge(ns.eng.Stats())
+		}
+		res.LP = c.lps.Stats()
+		res.LP.Mail = c.Net.MailDelivered()
+	} else {
+		res.Events = c.Eng.Processed()
+		res.Sched = c.Eng.Stats()
+	}
+	res.Summary = stats.Summarize(&res.ReadHist, &res.WriteHist, window)
 	var waitSum float64
 	for i, r := range c.Replicas {
 		res.Protocol.Add(&r.M)
@@ -273,18 +411,35 @@ func (c *Cluster) Collect(window int64, wall time.Duration) *Result {
 	return res
 }
 
+// Close releases run infrastructure (the LP synchronizer's workers). Run
+// calls it; direct-drive callers never start the synchronizer and need not.
+func (c *Cluster) Close() {
+	if c.lps != nil {
+		c.lps.Close()
+		c.lps = nil
+	}
+}
+
 // Run executes the configured simulation: warmup, measurement, collection.
 func Run(cfg Config) (*Result, error) {
 	c, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
+	defer c.Close()
 	start := time.Now()
 	c.Start()
-	c.Eng.Run(c.Cfg.WarmupNs)
-	c.BeginMeasurement()
-	c.Eng.Run(c.Cfg.WarmupNs + c.Cfg.MeasureNs)
-	c.StopMeasurement()
+	if c.lps != nil {
+		c.lps.Run(c.Cfg.WarmupNs)
+		c.BeginMeasurement()
+		c.lps.Run(c.Cfg.WarmupNs + c.Cfg.MeasureNs)
+		c.StopMeasurement()
+	} else {
+		c.Eng.Run(c.Cfg.WarmupNs)
+		c.BeginMeasurement()
+		c.Eng.Run(c.Cfg.WarmupNs + c.Cfg.MeasureNs)
+		c.StopMeasurement()
+	}
 	return c.Collect(c.Cfg.MeasureNs, time.Since(start)), nil
 }
 

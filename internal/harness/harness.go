@@ -7,6 +7,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"time"
 
@@ -31,6 +32,20 @@ type Options struct {
 	// any number an experiment reports — only how long it takes.
 	Parallel int
 
+	// LPs is the intra-cell parallelism: how many logical-process workers
+	// each cell's cluster may use (cluster.Config.IntraParallel). 1 — the
+	// DefaultOptions value — runs every cell on the sequential engine; 0
+	// lets sweep.Arbitrate split the core budget between cells and LPs
+	// (wide sweeps keep cells, a lone cell gets its LPs the spare cores).
+	// The LP engine is byte-identical to the sequential one, so this too
+	// only changes wall-clock time.
+	LPs int
+
+	// Experiment names the experiment being run (set by RunNamed); it tags
+	// cells' pprof labels as "<model>/<experiment>" so sweep profiles
+	// attribute CPU samples per cell (see EXPERIMENTS.md, "Profiling").
+	Experiment string
+
 	// Progress, when non-nil, receives one line per completed cell so
 	// long sweeps are observable (ddpbench points it at stderr). Lines are
 	// serialized across concurrent cells and appear in completion order.
@@ -49,6 +64,7 @@ func DefaultOptions() Options {
 		Seed:      1,
 		WarmupNs:  1_000_000,
 		MeasureNs: 5_000_000,
+		LPs:       1,
 	}
 }
 
@@ -96,6 +112,10 @@ func progressLine(w io.Writer, m core.Model, wl ycsb.Workload, r *cluster.Result
 	}
 	fmt.Fprintf(w, "      events %8.2f M/sim-s  max pending %6d  wheel %5.1f%%  overflow %d  turns %d\n",
 		evPerSec/1e6, s.MaxPending, wheelPct, s.Overflow, s.Turns)
+	if lp := r.LP; lp.Workers > 1 {
+		fmt.Fprintf(w, "      lp workers %d  lps %d  lookahead %dns  epochs %d  mail %d\n",
+			lp.Workers, lp.LPs, lp.Lookahead, lp.Epochs, lp.Mail)
+	}
 }
 
 // cell is one (options, model, workload) cluster run in an experiment grid.
@@ -107,21 +127,29 @@ type cell struct {
 	w ycsb.Workload
 }
 
-// runCells executes the cells across parent.workers() goroutines and returns
-// their results in cell order. The first failing cell's error (by submission
+// runCells executes the cells across a core budget arbitrated between
+// cell-level workers and per-cell LP workers (sweep.Arbitrate), returning
+// results in cell order. The first failing cell's error (by submission
 // order) is returned after in-flight cells drain.
 func runCells(parent Options, cells []cell) ([]*cluster.Result, error) {
+	cw, lw := sweep.Arbitrate(len(cells), parent.Parallel, parent.LPs, runtime.GOMAXPROCS(0))
 	scells := make([]sweep.Cell, len(cells))
 	for i := range cells {
 		c := cells[i]
-		scells[i] = sweep.Cell{Config: c.o.config(c.m, c.w)}
+		cfg := c.o.config(c.m, c.w)
+		cfg.IntraParallel = lw
+		label := c.m.String()
+		if parent.Experiment != "" {
+			label += "/" + parent.Experiment
+		}
+		scells[i] = sweep.Cell{Config: cfg, Label: label}
 		if parent.Progress != nil {
 			scells[i].OnDone = func(r *cluster.Result) {
 				progressLine(parent.Progress, c.m, c.w, r, parent.EventStats)
 			}
 		}
 	}
-	rs := sweep.Run(scells, parent.workers())
+	rs := sweep.Run(scells, cw)
 	out := make([]*cluster.Result, len(rs))
 	for i := range rs {
 		if rs[i].Err != nil {

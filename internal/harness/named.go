@@ -8,6 +8,7 @@ import (
 // RunNamed executes the experiment with the given name, writing its text
 // rendering to w. "all" runs every experiment in paper order.
 func RunNamed(w io.Writer, name string, o Options) error {
+	o.Experiment = name // pprof cell labels read "<model>/<experiment>"
 	switch name {
 	case "table1":
 		t, err := Table1(o)

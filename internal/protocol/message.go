@@ -98,6 +98,23 @@ type payload struct {
 	refs int32
 }
 
+// copyBody returns the message fields of a shared box without reading the
+// refcount. Under concurrent logical processes every receiver of a broadcast
+// copies out of the same box while the others atomically decrement refs, so
+// the copy must not touch the refs bytes (a whole-struct copy would).
+// Keep the field list in sync with payload.
+func (pp *payload) copyBody() payload {
+	return payload{
+		Kind:    pp.Kind,
+		Key:     pp.Key,
+		Stamp:   pp.Stamp,
+		Scope:   pp.Scope,
+		Txn:     pp.Txn,
+		Cauhist: pp.Cauhist,
+		Chain:   pp.Chain,
+	}
+}
+
 // payloadChunk is how many payloads one slab block amortizes (see boxPayload).
 const payloadChunk = 64
 

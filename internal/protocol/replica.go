@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/engines"
@@ -28,6 +29,12 @@ type Deps struct {
 	// Trace, when non-nil, receives a description of every protocol action
 	// at this replica (see internal/trace). Nil disables tracing.
 	Trace func(node int, what string)
+
+	// AtomicRefs makes shared-payload refcounts atomic. Required when
+	// replicas run on concurrent logical processes (a broadcast box is
+	// decremented by several receivers); the sequential cluster leaves it
+	// off to keep the plain decrement on the message hot path.
+	AtomicRefs bool
 }
 
 // keyState is the per-key protocol state at one replica.
@@ -148,10 +155,11 @@ type Replica struct {
 	scopeClosed  map[uint64]bool
 	scopeOps     map[uint64]*scopeOp
 
-	sharedVal []byte     // shared synthetic value payload (avoids allocation)
-	slab      []payload  // chunked outgoing-payload storage (see boxPayload)
-	pfree     []*payload // spent payload boxes, recycled by onMessage
-	tracer    func(node int, what string)
+	sharedVal  []byte     // shared synthetic value payload (avoids allocation)
+	slab       []payload  // chunked outgoing-payload storage (see boxPayload)
+	pfree      []*payload // spent payload boxes, recycled by onMessage
+	atomicRefs bool       // see Deps.AtomicRefs
+	tracer     func(node int, what string)
 
 	// Received messages parked across their worker-pool service job, in a
 	// freelist-recycled slab so message dispatch schedules closure-free
@@ -226,6 +234,7 @@ func NewReplica(id int, d Deps) *Replica {
 		scopeClosed:  make(map[uint64]bool),
 		scopeOps:     make(map[uint64]*scopeOp),
 		sharedVal:    make([]byte, d.P.ValueSize),
+		atomicRefs:   d.AtomicRefs,
 		tracer:       d.Trace,
 		dispFree:     -1,
 	}
@@ -392,13 +401,26 @@ func (r *Replica) broadcastRemoteGroups(p payload) {
 // handling cost, then dispatches.
 func (r *Replica) onMessage(m simnet.Message) {
 	pp := m.Payload.(*payload)
-	p := *pp
 	// A box is spent once every message sharing it has been copied out;
 	// the last receiver recycles it (here, on the receiving side), clearing
-	// the cauhist reference first.
-	if pp.refs--; pp.refs == 0 {
-		*pp = payload{}
-		r.pfree = append(r.pfree, pp)
+	// the cauhist reference first. Under concurrent logical processes a
+	// broadcast box is decremented by receivers on different goroutines:
+	// copyBody leaves the racing refs bytes unread, and the atomic
+	// decrement orders each receiver's copy-out above before the last
+	// receiver's zeroing below.
+	var p payload
+	if r.atomicRefs {
+		p = pp.copyBody()
+		if atomic.AddInt32(&pp.refs, -1) == 0 {
+			*pp = payload{}
+			r.pfree = append(r.pfree, pp)
+		}
+	} else {
+		p = *pp
+		if pp.refs--; pp.refs == 0 {
+			*pp = payload{}
+			r.pfree = append(r.pfree, pp)
+		}
 	}
 	service := r.p.MessageHandle
 	if p.Kind == MsgINV || p.Kind == MsgUPD {

@@ -78,6 +78,20 @@ type EngineStats struct {
 	Wheel      uint64 // events scheduled directly into the wheel window
 	Overflow   uint64 // events that landed in the overflow level first
 	Turns      uint64 // wheel turns (overflow re-bucketing passes)
+	Ingress    uint64 // arrivals dispatched from the bound Ingress queue
+}
+
+// Merge accumulates other into s (summing counters, taking the max pending
+// high-water mark), for aggregating per-LP engines into one run-level view.
+func (s *EngineStats) Merge(other EngineStats) {
+	s.Processed += other.Processed
+	s.Wheel += other.Wheel
+	s.Overflow += other.Overflow
+	s.Turns += other.Turns
+	s.Ingress += other.Ingress
+	if other.MaxPending > s.MaxPending {
+		s.MaxPending = other.MaxPending
+	}
 }
 
 // Engine is a discrete-event simulator clock and scheduler.
@@ -86,8 +100,21 @@ type Engine struct {
 	now        int64
 	seq        uint64
 	processed  uint64
+	ingressed  uint64
 	stopped    bool
 	maxPending int
+
+	// schedLB is a lower bound on the scheduler's head time: no pending
+	// local event is earlier than it. Pops tighten it (dispatch order is
+	// monotone; a failed probe reveals the exact head), pushes relax it.
+	// dispatchOne uses it to pop an ingress arrival without probing the
+	// scheduler at all when the bound already proves the arrival wins.
+	schedLB int64
+
+	// ing, when bound, feeds externally keyed arrivals into the dispatch
+	// loop; at equal timestamps arrivals run before locally scheduled
+	// events (see Ingress).
+	ing *Ingress
 
 	useHeap bool
 	heap    eventHeap
@@ -111,13 +138,24 @@ func (e *Engine) Now() int64 { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of scheduled-but-unexecuted events.
+// Pending returns the number of scheduled-but-unexecuted events, including
+// queued ingress arrivals.
 func (e *Engine) Pending() int {
-	if e.useHeap {
-		return e.heap.len()
+	n := 0
+	if e.ing != nil {
+		n = e.ing.Len()
 	}
-	return e.wheel.len()
+	if e.useHeap {
+		return n + e.heap.len()
+	}
+	return n + e.wheel.len()
 }
+
+// BindIngress attaches an arrival queue to the engine. The dispatch loops
+// interleave its entries with locally scheduled events in time order, with
+// arrivals winning ties — the canonical order both the sequential and the
+// LP cluster engines share.
+func (e *Engine) BindIngress(ing *Ingress) { e.ing = ing }
 
 // Stats returns the engine's scheduler counters.
 func (e *Engine) Stats() EngineStats {
@@ -127,6 +165,7 @@ func (e *Engine) Stats() EngineStats {
 		Wheel:      e.wheel.wheelEvents,
 		Overflow:   e.wheel.overflowEvents,
 		Turns:      e.wheel.turns,
+		Ingress:    e.ingressed,
 	}
 }
 
@@ -184,6 +223,9 @@ func (e *Engine) AtEvent(t int64, h Handler, arg uint64) {
 // push hands the event to the active scheduler and tracks the pending
 // high-water mark.
 func (e *Engine) push(ev event) {
+	if ev.at < e.schedLB {
+		e.schedLB = ev.at
+	}
 	var pending int
 	if e.useHeap {
 		e.heap.push(ev)
@@ -205,21 +247,73 @@ func (e *Engine) popIfAtMost(limit int64) (event, bool) {
 	return e.wheel.popIfAtMost(limit)
 }
 
+// headHint returns the scheduler head time recorded by the last failed
+// popIfAtMost probe (maxTime when the scheduler was empty). Valid only
+// immediately after a failed probe, before any push.
+func (e *Engine) headHint() int64 {
+	if e.useHeap {
+		return e.heap.headHint
+	}
+	return e.wheel.headHint
+}
+
 const maxTime = int64(^uint64(0) >> 1)
+
+// dispatchOne executes the next event at or before until — the earlier of
+// the scheduler head and the ingress head, arrivals first on ties — and
+// reports whether anything ran.
+func (e *Engine) dispatchOne(until int64) bool {
+	// Local events strictly before a pending arrival run first; at the
+	// arrival's own timestamp the arrival wins. When schedLB already
+	// proves no local event precedes the arrival, skip the scheduler
+	// probe — arrival bursts between local events then cost O(1) here
+	// instead of a wheel scan each.
+	limit, arrival := until, false
+	if e.ing != nil && e.ing.Len() > 0 {
+		if ia := e.ing.HeadAt(); ia <= until {
+			if ia <= e.schedLB {
+				return e.popArrival()
+			}
+			limit, arrival = ia-1, true
+		}
+	}
+	var ev event
+	var ok bool
+	if e.useHeap {
+		ev, ok = e.heap.popIfAtMost(limit)
+	} else {
+		ev, ok = e.wheel.popIfAtMost(limit)
+	}
+	if !ok {
+		if arrival {
+			e.schedLB = e.headHint()
+			return e.popArrival()
+		}
+		return false
+	}
+	e.schedLB = ev.at
+	e.now = ev.at
+	e.processed++
+	ev.run()
+	return true
+}
+
+// popArrival dispatches the ingress head. Call only when one is pending.
+func (e *Engine) popArrival() bool {
+	ent := e.ing.Pop()
+	e.now = ent.At
+	e.processed++
+	e.ingressed++
+	ent.H.OnEvent(ent.Arg)
+	return true
+}
 
 // Run executes events in timestamp order until the queue is empty, the
 // simulated clock passes until, or Stop is called. It returns the simulated
 // time at which it stopped. Events scheduled exactly at until are executed.
 func (e *Engine) Run(until int64) int64 {
 	e.stopped = false
-	for !e.stopped {
-		ev, ok := e.popIfAtMost(until)
-		if !ok {
-			break
-		}
-		e.now = ev.at
-		e.processed++
-		ev.run()
+	for !e.stopped && e.dispatchOne(until) {
 	}
 	if e.now < until && !e.stopped {
 		e.now = until
@@ -232,14 +326,7 @@ func (e *Engine) Run(until int64) int64 {
 // and workloads known to quiesce.
 func (e *Engine) RunAll() int64 {
 	e.stopped = false
-	for !e.stopped {
-		ev, ok := e.popIfAtMost(maxTime)
-		if !ok {
-			break
-		}
-		e.now = ev.at
-		e.processed++
-		ev.run()
+	for !e.stopped && e.dispatchOne(maxTime) {
 	}
 	return e.now
 }
@@ -247,14 +334,7 @@ func (e *Engine) RunAll() int64 {
 // Step executes exactly one event if any is pending and reports whether it
 // did.
 func (e *Engine) Step() bool {
-	ev, ok := e.popIfAtMost(maxTime)
-	if !ok {
-		return false
-	}
-	e.now = ev.at
-	e.processed++
-	ev.run()
-	return true
+	return e.dispatchOne(maxTime)
 }
 
 // Stop makes the current Run/RunAll call return after the event in progress.

@@ -8,6 +8,9 @@ package sim
 // Avoiding container/heap's interface boxing roughly halves heap time.
 type eventHeap struct {
 	evs []event
+	// headHint records the head time observed by the last failed
+	// popIfAtMost (maxTime when empty); see Engine.headHint.
+	headHint int64
 }
 
 func (h *eventHeap) len() int { return len(h.evs) }
@@ -40,7 +43,12 @@ func (h *eventHeap) peek() *event { return &h.evs[0] }
 
 // popIfAtMost removes and returns the minimum event if its time is <= limit.
 func (h *eventHeap) popIfAtMost(limit int64) (event, bool) {
-	if len(h.evs) == 0 || h.evs[0].at > limit {
+	if len(h.evs) == 0 {
+		h.headHint = maxTime
+		return event{}, false
+	}
+	if h.evs[0].at > limit {
+		h.headHint = h.evs[0].at
 		return event{}, false
 	}
 	return h.pop(), true

@@ -1,0 +1,131 @@
+package sim
+
+// LPGroup advances a set of per-node engines ("logical processes") in
+// lock-step epochs of a fixed lookahead width — a conservative
+// (Chandy–Misra–Bryant-style) parallel discrete-event synchronizer.
+//
+// The contract with the caller:
+//
+//   - Every cross-LP interaction is buffered during an epoch (the simnet
+//     mailboxes) and made visible only by the Barrier callback, which runs
+//     with all LPs quiescent after each epoch.
+//   - Lookahead is a lower bound on cross-LP cause-to-effect delay: an
+//     interaction produced in epoch [T, T+L-1] takes effect strictly after
+//     T+L-1, so delivering it at the barrier can never miss its timestamp.
+//
+// Under that contract each LP's event stream is independent within an
+// epoch, so the group can run LPs on concurrent workers while dispatching
+// exactly the schedule the same engines would produce one at a time —
+// workers=N is byte-identical to workers=1 (see DESIGN.md for the full
+// argument and cluster's differential tests for the proof).
+type LPGroup struct {
+	engs      []*Engine
+	lookahead int64
+	workers   int
+
+	// Barrier runs after every epoch with all LPs quiescent — the caller
+	// delivers cross-LP mail (simnet.DeliverMail) and performs any
+	// phase-boundary work (e.g. flipping measurement on).
+	barrier func()
+
+	next   int64 // next epoch's base time
+	epochs uint64
+
+	start []chan int64  // per-worker epoch-end signals
+	done  chan struct{} // one token per worker per epoch
+}
+
+// LPStats reports synchronizer counters for one run.
+type LPStats struct {
+	Workers   int    // concurrent LP workers
+	LPs       int    // logical processes (server nodes)
+	Lookahead int64  // epoch width, ns
+	Epochs    uint64 // lock-step epochs executed
+	Mail      uint64 // cross-LP arrivals delivered at barriers
+}
+
+// NewLPGroup builds a synchronizer over engs with the given epoch width.
+// workers is clamped to [1, len(engs)]; barrier may be nil. Worker
+// goroutines start immediately and persist until Close.
+func NewLPGroup(engs []*Engine, lookahead int64, workers int, barrier func()) *LPGroup {
+	if lookahead < 1 {
+		panic("sim: LPGroup lookahead must be >= 1ns")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(engs) {
+		workers = len(engs)
+	}
+	g := &LPGroup{
+		engs:      engs,
+		lookahead: lookahead,
+		workers:   workers,
+		barrier:   barrier,
+		start:     make([]chan int64, workers),
+		done:      make(chan struct{}, workers),
+	}
+	for w := 0; w < workers; w++ {
+		g.start[w] = make(chan int64, 1)
+		go g.worker(w)
+	}
+	return g
+}
+
+// worker advances its statically assigned stripe of LPs (w, w+W, w+2W, ...)
+// to each signaled epoch end. The static partition keeps LP-to-goroutine
+// assignment deterministic, though determinism does not depend on it: LPs
+// share nothing within an epoch.
+func (g *LPGroup) worker(w int) {
+	for end := range g.start[w] {
+		for i := w; i < len(g.engs); i += g.workers {
+			g.engs[i].Run(end)
+		}
+		g.done <- struct{}{}
+	}
+}
+
+// Run advances every LP to simulated time until, in epochs of the lookahead
+// width, running the barrier after each. Successive calls continue from
+// where the previous left off (phase boundaries clamp an epoch, so a
+// measurement window starting mid-epoch flips exactly as it would
+// sequentially). Returns the common LP clock, == until.
+func (g *LPGroup) Run(until int64) int64 {
+	for g.next <= until {
+		end := g.next + g.lookahead - 1
+		if end > until {
+			end = until
+		}
+		for w := 0; w < g.workers; w++ {
+			g.start[w] <- end
+		}
+		for w := 0; w < g.workers; w++ {
+			<-g.done
+		}
+		g.epochs++
+		if g.barrier != nil {
+			g.barrier()
+		}
+		g.next = end + 1
+	}
+	return until
+}
+
+// Stats returns the synchronizer counters accumulated so far (Mail is
+// tracked by the network, not the group, and is zero here).
+func (g *LPGroup) Stats() LPStats {
+	return LPStats{
+		Workers:   g.workers,
+		LPs:       len(g.engs),
+		Lookahead: g.lookahead,
+		Epochs:    g.epochs,
+	}
+}
+
+// Close stops the worker goroutines. The group must be idle (no Run in
+// progress); engines remain usable afterwards.
+func (g *LPGroup) Close() {
+	for _, c := range g.start {
+		close(c)
+	}
+}

@@ -66,6 +66,10 @@ type timingWheel struct {
 	wheelEvents    uint64 // scheduled directly into the window
 	overflowEvents uint64 // landed in the overflow level first
 	turns          uint64 // re-bucketing passes
+
+	// headHint records the head time observed by the last failed
+	// popIfAtMost (maxTime when empty); see Engine.headHint.
+	headHint int64
 }
 
 func (w *timingWheel) len() int { return w.count + w.overflow.len() }
@@ -155,6 +159,7 @@ func (w *timingWheel) drainOverflow() {
 func (w *timingWheel) popIfAtMost(limit int64) (event, bool) {
 	if w.count == 0 {
 		if w.overflow.len() == 0 {
+			w.headHint = maxTime
 			return event{}, false
 		}
 		// Wheel turn: the window emptied. Re-bucket what fits; if the next
@@ -167,6 +172,8 @@ func (w *timingWheel) popIfAtMost(limit int64) (event, bool) {
 			ev, ok := w.overflow.popIfAtMost(limit)
 			if ok {
 				w.wnow = ev.at
+			} else {
+				w.headHint = w.overflow.headHint
 			}
 			return ev, ok
 		}
@@ -177,11 +184,16 @@ func (w *timingWheel) popIfAtMost(limit int64) (event, bool) {
 	}
 
 	slot := w.firstOccupied()
-	ni := w.head[slot]
-	n := &w.nodes[ni]
-	if n.ev.at > limit {
+	// A bucket spans exactly 1 ns, so the head's time follows from the
+	// slot's circular distance to the cursor — no node load needed on the
+	// (frequent) limit-exceeded probe.
+	at := w.wnow + int64((slot-int32(w.wnow))&wheelMask)
+	if at > limit {
+		w.headHint = at
 		return event{}, false
 	}
+	ni := w.head[slot]
+	n := &w.nodes[ni]
 	ev := n.ev
 	w.head[slot] = n.next
 	if n.next < 0 {

@@ -11,10 +11,20 @@
 // Send and delivery are the hottest simulated path in every experiment, so
 // the per-message state is pooled: a steady-state send+deliver cycle
 // performs no heap allocation (see TestSendDeliverAllocs).
+//
+// The network runs in one of two wirings. New binds every node to a single
+// engine (the sequential cluster); NewParallel binds each node to its own
+// engine for the per-node logical-process (LP) cluster. Both wirings route
+// cross-node arrivals through sim.Ingress queues keyed (arrival time,
+// source, source sequence), and every per-message quantity — transmit-queue
+// occupancy, queue-pair backpressure, jitter, pair-FIFO clamping — is
+// derived from sender-local state only, so the two wirings dispatch
+// byte-identical schedules (see DESIGN.md, "Per-node logical processes").
 package simnet
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/sim"
 )
@@ -36,8 +46,13 @@ type Message struct {
 
 // Config describes the fabric.
 type Config struct {
-	Nodes      int
-	OneWayLat  int64 // ns propagation NIC-to-NIC
+	Nodes     int
+	OneWayLat int64 // ns propagation NIC-to-NIC
+	// PairLat, when non-nil, overrides OneWayLat per (src,dst) pair —
+	// heterogeneous fabrics (rack locality, degraded links). Must be
+	// Nodes x Nodes; diagonal entries are ignored (self-sends skip
+	// propagation).
+	PairLat    [][]int64
 	Jitter     int64 // max extra one-way delay, ns (uniform; 0 = none)
 	Bandwidth  int64 // bits/s per NIC (each direction)
 	QueuePairs int   // max in-flight sends per NIC; extra sends queue
@@ -58,7 +73,30 @@ func (cfg Config) Validate() error {
 	case cfg.QueuePairs < 0:
 		return fmt.Errorf("simnet: QueuePairs must be >= 0, got %d", cfg.QueuePairs)
 	}
+	if cfg.PairLat != nil {
+		if len(cfg.PairLat) != cfg.Nodes {
+			return fmt.Errorf("simnet: PairLat must have %d rows, got %d", cfg.Nodes, len(cfg.PairLat))
+		}
+		for i, row := range cfg.PairLat {
+			if len(row) != cfg.Nodes {
+				return fmt.Errorf("simnet: PairLat row %d must have %d entries, got %d", i, cfg.Nodes, len(row))
+			}
+			for j, lat := range row {
+				if i != j && lat < 0 {
+					return fmt.Errorf("simnet: PairLat[%d][%d] must be >= 0 ns, got %d", i, j, lat)
+				}
+			}
+		}
+	}
 	return nil
+}
+
+// latFor returns the one-way propagation latency from src to dst.
+func (cfg Config) latFor(src, dst int) int64 {
+	if cfg.PairLat != nil {
+		return cfg.PairLat[src][dst]
+	}
+	return cfg.OneWayLat
 }
 
 // Per-(src,dst) FIFO is guaranteed even with jitter: an early jittered
@@ -66,45 +104,118 @@ func (cfg Config) Validate() error {
 // ordering), while cross-source interleavings at a destination are decided
 // by arrival order.
 
-// Network connects Nodes NICs. Register a handler per node before sending.
-type Network struct {
-	eng      *sim.Engine
-	cfg      Config
-	rng      *sim.RNG
-	handlers []Handler
-
-	txFree     []int64 // per-node NIC transmit next-free time
-	rxFree     []int64 // per-node NIC receive next-free time
-	inFlight   []int   // per-node queue-pair occupancy
-	lastArrive []int64 // flat [src*Nodes+dst] last arrival, enforcing pair FIFO
-
-	free []*delivery // recycled in-flight records (single-goroutine engine)
-
-	msgs     uint64
-	bytes    uint64
-	byKind   []uint64 // per-kind message counts, indexed by Message.Kind
-	dropped  uint64
-	sumDelay int64
+// txState is the send side of one NIC, touched only by its own node (its
+// own LP under parallel wiring).
+type txState struct {
+	txFree int64      // NIC transmit next-free time
+	seq    uint64     // sends so far: jitter input and ingress tie-break key
+	rel    relTracker // queue-pair release times (pending arrivals)
+	msgs   uint64     // messages sent
+	bytes  uint64     // bytes placed on the wire
+	byKind []uint64   // per-kind message counts, indexed by Message.Kind
 }
 
-// New creates a network. Invalid configurations panic with the descriptive
-// Config.Validate error: simulation wiring is a programming error, and every
-// field is checked the same way.
+// rxState is the receive side of one NIC, touched only by the destination
+// node (its own LP under parallel wiring).
+type rxState struct {
+	rxFree   int64 // NIC receive next-free time
+	sumDelay int64
+	dropped  uint64
+	free     []*delivery // recycled delivery records (LP wiring only)
+}
+
+// mailEntry is one cross-node arrival parked in a mailbox until the epoch
+// barrier (parallel wiring only). The source and destination are implied by
+// the mailbox index.
+type mailEntry struct {
+	at  int64
+	seq uint64
+	d   *delivery
+}
+
+// Network connects Nodes NICs. Register a handler per node before sending.
+type Network struct {
+	engs     []*sim.Engine // per-node engine; sequential wiring repeats one
+	cfg      Config
+	handlers []Handler
+
+	tx         []txState
+	rx         []rxState
+	lastArrive []int64 // flat [src*Nodes+dst] last arrival, enforcing pair FIFO
+
+	// Sequential wiring: one shared ingress on the shared engine, one
+	// shared delivery pool.
+	ing     *sim.Ingress
+	seqFree []*delivery
+
+	// Parallel wiring: per-destination ingresses and per-(src,dst)
+	// mailboxes drained at epoch barriers.
+	lp       bool
+	ings     []*sim.Ingress
+	mail     [][]mailEntry // flat [src*Nodes+dst]
+	mailSent uint64
+}
+
+// New creates a sequentially wired network: every node shares eng, and
+// cross-node arrivals feed one ingress queue bound to it. Invalid
+// configurations panic with the descriptive Config.Validate error:
+// simulation wiring is a programming error, and every field is checked the
+// same way.
 func New(eng *sim.Engine, cfg Config) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Network{
-		eng:        eng,
-		cfg:        cfg,
-		rng:        sim.NewRNG(cfg.Seed ^ 0x5eed5eed),
-		handlers:   make([]Handler, cfg.Nodes),
-		txFree:     make([]int64, cfg.Nodes),
-		rxFree:     make([]int64, cfg.Nodes),
-		inFlight:   make([]int, cfg.Nodes),
-		lastArrive: make([]int64, cfg.Nodes*cfg.Nodes),
-		byKind:     make([]uint64, 16),
+	engs := make([]*sim.Engine, cfg.Nodes)
+	for i := range engs {
+		engs[i] = eng
 	}
+	n := newNetwork(engs, cfg)
+	n.ing = sim.NewIngress(cfg.Nodes * cfg.Nodes) // one lane per (src,dst) flow
+	eng.BindIngress(n.ing)
+	return n
+}
+
+// NewParallel creates an LP-wired network: node i runs on engs[i], and
+// cross-node traffic parks in per-pair mailboxes until DeliverMail moves it
+// to the destination ingress at an epoch barrier. Panics on invalid
+// configurations (ValidateLP) or an engine-count mismatch.
+func NewParallel(engs []*sim.Engine, cfg Config) *Network {
+	if err := cfg.ValidateLP(); err != nil {
+		panic(err)
+	}
+	if len(engs) != cfg.Nodes {
+		panic(fmt.Sprintf("simnet: NewParallel needs %d engines, got %d", cfg.Nodes, len(engs)))
+	}
+	n := newNetwork(engs, cfg)
+	n.lp = true
+	n.ings = make([]*sim.Ingress, cfg.Nodes)
+	n.mail = make([][]mailEntry, cfg.Nodes*cfg.Nodes)
+	for i := range n.ings {
+		n.ings[i] = sim.NewIngress(cfg.Nodes) // one lane per source
+		engs[i].BindIngress(n.ings[i])
+	}
+	return n
+}
+
+func newNetwork(engs []*sim.Engine, cfg Config) *Network {
+	n := &Network{
+		engs:       engs,
+		cfg:        cfg,
+		handlers:   make([]Handler, cfg.Nodes),
+		tx:         make([]txState, cfg.Nodes),
+		rx:         make([]rxState, cfg.Nodes),
+		lastArrive: make([]int64, cfg.Nodes*cfg.Nodes),
+	}
+	for i := range n.tx {
+		n.tx[i].byKind = make([]uint64, 16)
+		n.tx[i].rel.rings = make([]relRing, cfg.Nodes)
+		n.tx[i].rel.headTs = make([]int64, cfg.Nodes)
+		for d := range n.tx[i].rel.headTs {
+			n.tx[i].rel.headTs[d] = math.MaxInt64
+		}
+		n.tx[i].rel.next = math.MaxInt64
+	}
+	return n
 }
 
 // Register installs the receive handler for node id.
@@ -122,11 +233,28 @@ func (n *Network) serialization(size int) int64 {
 	return ns
 }
 
+// jitterFor derives the extra one-way delay of one message as a pure hash of
+// (seed, pair, sequence) — a splitmix64-style mix. A hash rather than a
+// shared RNG stream keeps jitter independent of global send interleaving,
+// which both wirings must agree on; it is also additive, so it never lowers
+// the lookahead bound.
+func jitterFor(seed, pair, seq uint64, max int64) int64 {
+	x := seed ^ pair*0x9e3779b97f4a7c15 ^ seq*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x % uint64(max+1))
+}
+
 // delivery carries one in-flight message through its two scheduled hops:
 // arrival at the destination NIC, then handler dispatch after receive-side
-// serialization. Records are pooled per network and both hops are typed
-// engine events on the record itself, so the steady-state send path
-// schedules zero closures and allocates nothing.
+// serialization. Records are pooled (shared under sequential wiring,
+// per-node under LP wiring, where a record allocated by the sender is
+// recycled by the receiver) and both hops are typed engine events on the
+// record itself, so the steady-state send path schedules zero closures and
+// allocates nothing.
 type delivery struct {
 	n   *Network
 	msg Message
@@ -149,12 +277,17 @@ func (d *delivery) OnEvent(arg uint64) {
 	d.deliver()
 }
 
-// newDelivery pops a recycled record or creates one.
-func (n *Network) newDelivery() *delivery {
-	if k := len(n.free); k > 0 {
-		d := n.free[k-1]
-		n.free[k-1] = nil
-		n.free = n.free[:k-1]
+// newDelivery pops a recycled record or creates one. at is the allocating
+// (sending) node, whose pool the LP wiring draws from.
+func (n *Network) newDelivery(at int) *delivery {
+	pool := &n.seqFree
+	if n.lp {
+		pool = &n.rx[at].free
+	}
+	if k := len(*pool); k > 0 {
+		d := (*pool)[k-1]
+		(*pool)[k-1] = nil
+		*pool = (*pool)[:k-1]
 		return d
 	}
 	return &delivery{n: n}
@@ -165,13 +298,15 @@ func (n *Network) newDelivery() *delivery {
 // destination are decided by arrival, not send).
 func (d *delivery) arrive() {
 	n := d.n
-	rxStart := n.rxFree[d.msg.To]
-	if now := n.eng.Now(); rxStart < now {
+	to := d.msg.To
+	eng := n.engs[to]
+	rxStart := n.rx[to].rxFree
+	if now := eng.Now(); rxStart < now {
 		rxStart = now
 	}
 	rxDone := rxStart + d.ser
-	n.rxFree[d.msg.To] = rxDone
-	n.eng.AtEvent(rxDone, d, hopDeliver)
+	n.rx[to].rxFree = rxDone
+	eng.AtEvent(rxDone, d, hopDeliver)
 }
 
 // deliver hands the message to the destination handler and recycles the
@@ -181,13 +316,17 @@ func (d *delivery) deliver() {
 	n := d.n
 	msg := d.msg
 	d.msg = Message{} // drop the payload reference before pooling
-	n.free = append(n.free, d)
+	rx := &n.rx[msg.To]
+	if n.lp {
+		rx.free = append(rx.free, d)
+	} else {
+		n.seqFree = append(n.seqFree, d)
+	}
 
-	n.inFlight[msg.From]--
-	n.sumDelay += n.eng.Now() - msg.SentAt
+	rx.sumDelay += n.engs[msg.To].Now() - msg.SentAt
 	h := n.handlers[msg.To]
 	if h == nil {
-		n.dropped++
+		rx.dropped++
 		return
 	}
 	h(msg)
@@ -196,61 +335,172 @@ func (d *delivery) deliver() {
 // Send transmits msg; delivery invokes the destination handler. Sends to
 // self are delivered after a loopback cost of one serialization (no
 // propagation), which the protocols use for local client responses.
+//
+// Every quantity below is derived from sender-local state and the sender's
+// clock, so a send computes identically under sequential and LP wiring.
 func (n *Network) Send(msg Message) {
-	if msg.From < 0 || msg.From >= n.cfg.Nodes || msg.To < 0 || msg.To >= n.cfg.Nodes {
+	N := n.cfg.Nodes
+	if msg.From < 0 || msg.From >= N || msg.To < 0 || msg.To >= N {
 		panic(fmt.Sprintf("simnet: bad route %d->%d", msg.From, msg.To))
 	}
-	msg.SentAt = n.eng.Now()
-	n.msgs++
-	n.bytes += uint64(msg.Size)
+	eng := n.engs[msg.From]
+	now := eng.Now()
+	msg.SentAt = now
+	tx := &n.tx[msg.From]
+	tx.msgs++
+	tx.bytes += uint64(msg.Size)
 	if k := msg.Kind; k >= 0 {
-		if k >= len(n.byKind) {
+		if k >= len(tx.byKind) {
 			grown := make([]uint64, k+1)
-			copy(grown, n.byKind)
-			n.byKind = grown
+			copy(grown, tx.byKind)
+			tx.byKind = grown
 		}
-		n.byKind[k]++
+		tx.byKind[k]++
 	}
+	tx.seq++
 
 	ser := n.serialization(msg.Size)
 
 	// Queue-pair backpressure: once the NIC has QueuePairs sends in flight,
 	// each additional send pays an extra scheduling penalty on top of the
-	// transmit-queue delay (doorbell/WQE recycling cost).
+	// transmit-queue delay (doorbell/WQE recycling cost). A send occupies
+	// its queue pair until its arrival time, tracked sender-side in a
+	// min-heap of release times.
+	tx.rel.release(now)
 	qpDelay := int64(0)
-	if n.cfg.QueuePairs > 0 && n.inFlight[msg.From] >= n.cfg.QueuePairs {
-		qpDelay = ser * int64(n.inFlight[msg.From]-n.cfg.QueuePairs+1)
+	if n.cfg.QueuePairs > 0 && tx.rel.len() >= n.cfg.QueuePairs {
+		qpDelay = ser * int64(tx.rel.len()-n.cfg.QueuePairs+1)
 	}
-	n.inFlight[msg.From]++
 
-	start := n.txFree[msg.From]
-	if now := n.eng.Now(); start < now {
+	start := tx.txFree
+	if start < now {
 		start = now
 	}
 	txDone := start + ser + qpDelay
-	n.txFree[msg.From] = txDone
+	tx.txFree = txDone
 
-	lat := n.cfg.OneWayLat
-	if n.cfg.Jitter > 0 {
-		lat += n.rng.Int63n(n.cfg.Jitter + 1)
-	}
-	if msg.To == msg.From {
-		lat = 0
+	var lat int64
+	if msg.To != msg.From {
+		lat = n.cfg.latFor(msg.From, msg.To)
+		if n.cfg.Jitter > 0 {
+			lat += jitterFor(n.cfg.Seed, uint64(msg.From*N+msg.To), tx.seq, n.cfg.Jitter)
+		}
 	}
 	arrive := txDone + lat
 	// Reliable-connection transports deliver in order per (src,dst) pair:
 	// clamp a jittered early arrival behind its predecessor.
-	la := &n.lastArrive[msg.From*n.cfg.Nodes+msg.To]
+	la := &n.lastArrive[msg.From*N+msg.To]
 	if arrive < *la {
 		arrive = *la
 	}
 	*la = arrive
+	tx.rel.push(msg.To, arrive)
 
-	d := n.newDelivery()
+	d := n.newDelivery(msg.From)
 	d.msg = msg
 	d.ser = ser
-	n.eng.AtEvent(arrive, d, hopArrive)
+
+	if msg.To == msg.From {
+		// Loopback stays on the sender's own engine in both wirings.
+		eng.AtEvent(arrive, d, hopArrive)
+		return
+	}
+	if n.lp {
+		b := &n.mail[msg.From*N+msg.To]
+		*b = append(*b, mailEntry{at: arrive, seq: tx.seq, d: d})
+		return
+	}
+	n.ing.Push(msg.From*N+msg.To,
+		sim.IngressEvent{At: arrive, Src: int32(msg.From), Seq: tx.seq, H: d, Arg: hopArrive})
 }
+
+// DeliverMail drains every mailbox into its destination's ingress queue and
+// returns how many arrivals moved. Parallel wiring only; call at an epoch
+// barrier, with every LP quiescent. Ingress order is canonical (time,
+// source, sequence) regardless of push order, so batched delivery
+// dispatches identically to the sequential wiring's send-time pushes.
+func (n *Network) DeliverMail() int {
+	N := n.cfg.Nodes
+	moved := 0
+	for dst := 0; dst < N; dst++ {
+		ing := n.ings[dst]
+		for src := 0; src < N; src++ {
+			b := &n.mail[src*N+dst]
+			if len(*b) == 0 {
+				continue
+			}
+			for i := range *b {
+				e := &(*b)[i]
+				ing.Push(src, sim.IngressEvent{At: e.at, Src: int32(src), Seq: e.seq, H: e.d, Arg: hopArrive})
+				e.d = nil
+			}
+			moved += len(*b)
+			*b = (*b)[:0]
+		}
+	}
+	n.mailSent += uint64(moved)
+	return moved
+}
+
+// MailDelivered returns the total cross-LP arrivals moved by DeliverMail.
+func (n *Network) MailDelivered() uint64 { return n.mailSent }
+
+// Messages returns the number of messages sent.
+func (n *Network) Messages() uint64 {
+	var total uint64
+	for i := range n.tx {
+		total += n.tx[i].msgs
+	}
+	return total
+}
+
+// Bytes returns total bytes placed on the wire.
+func (n *Network) Bytes() uint64 {
+	var total uint64
+	for i := range n.tx {
+		total += n.tx[i].bytes
+	}
+	return total
+}
+
+// MessagesOfKind returns the per-kind message count.
+func (n *Network) MessagesOfKind(kind int) uint64 {
+	if kind < 0 {
+		return 0
+	}
+	var total uint64
+	for i := range n.tx {
+		if kind < len(n.tx[i].byKind) {
+			total += n.tx[i].byKind[kind]
+		}
+	}
+	return total
+}
+
+// Dropped returns messages delivered to nodes with no handler.
+func (n *Network) Dropped() uint64 {
+	var total uint64
+	for i := range n.rx {
+		total += n.rx[i].dropped
+	}
+	return total
+}
+
+// MeanDelay returns the average send-to-deliver delay in ns.
+func (n *Network) MeanDelay() float64 {
+	msgs := n.Messages()
+	if msgs == 0 {
+		return 0
+	}
+	var sum int64
+	for i := range n.rx {
+		sum += n.rx[i].sumDelay
+	}
+	return float64(sum) / float64(msgs)
+}
+
+// Nodes returns the number of NICs.
+func (n *Network) Nodes() int { return n.cfg.Nodes }
 
 // Broadcast sends a copy of msg from its From node to every other node.
 func (n *Network) Broadcast(msg Message, except int) {
@@ -264,30 +514,65 @@ func (n *Network) Broadcast(msg Message, except int) {
 	}
 }
 
-// Messages returns the number of messages sent.
-func (n *Network) Messages() uint64 { return n.msgs }
-
-// Bytes returns total bytes placed on the wire.
-func (n *Network) Bytes() uint64 { return n.bytes }
-
-// MessagesOfKind returns the per-kind message count.
-func (n *Network) MessagesOfKind(kind int) uint64 {
-	if kind < 0 || kind >= len(n.byKind) {
-		return 0
-	}
-	return n.byKind[kind]
+// relTracker counts in-flight sends per NIC for the queue-pair model: a
+// send occupies a queue pair until its arrival time. Arrival times are
+// monotone per destination (the pair-FIFO clamp), so instead of a min-heap
+// the tracker keeps one FIFO ring per destination and releases by popping
+// ring heads — no sifting, and the rings reuse their storage once drained.
+// A cached earliest release time makes the common no-op release O(1); the
+// O(destinations) scan runs only when something actually releases.
+type relTracker struct {
+	rings []relRing
+	// headTs mirrors each ring's front entry (max int64 when empty), so
+	// the release scan reads one contiguous array instead of chasing ring
+	// slice headers.
+	headTs []int64
+	n      int
+	next   int64 // earliest pending release; max int64 when n == 0
 }
 
-// Dropped returns messages delivered to nodes with no handler.
-func (n *Network) Dropped() uint64 { return n.dropped }
-
-// MeanDelay returns the average send-to-deliver delay in ns.
-func (n *Network) MeanDelay() float64 {
-	if n.msgs == 0 {
-		return 0
-	}
-	return float64(n.sumDelay) / float64(n.msgs)
+type relRing struct {
+	ts  []int64
+	pos int
 }
 
-// Nodes returns the number of NICs.
-func (n *Network) Nodes() int { return n.cfg.Nodes }
+func (h *relTracker) len() int { return h.n }
+
+// release pops every entry at or before now.
+func (h *relTracker) release(now int64) {
+	if now < h.next {
+		return
+	}
+	next := int64(math.MaxInt64)
+	for i, ht := range h.headTs {
+		for ht <= now {
+			r := &h.rings[i]
+			r.pos++
+			h.n--
+			if r.pos == len(r.ts) {
+				r.ts = r.ts[:0]
+				r.pos = 0
+				ht = math.MaxInt64
+			} else {
+				ht = r.ts[r.pos]
+			}
+		}
+		h.headTs[i] = ht
+		if ht < next {
+			next = ht
+		}
+	}
+	h.next = next
+}
+
+func (h *relTracker) push(dst int, t int64) {
+	r := &h.rings[dst]
+	if r.pos == len(r.ts) {
+		h.headTs[dst] = t
+	}
+	r.ts = append(r.ts, t)
+	h.n++
+	if t < h.next {
+		h.next = t
+	}
+}

@@ -1,0 +1,39 @@
+package sweep
+
+import "testing"
+
+func TestArbitrate(t *testing.T) {
+	cases := []struct {
+		name                     string
+		cells, cellW, lpW, procs int
+		wantCW, wantLW           int
+	}{
+		{"auto-auto wide sweep favors cells", 25, 0, 0, 8, 8, 1},
+		{"auto-auto single cell gives cores to LPs", 1, 0, 0, 8, 1, 8},
+		{"pinned LPs shrink cell workers to fit", 25, 0, 4, 8, 2, 4},
+		{"pinned cells split remainder to LPs", 25, 4, 0, 8, 4, 2},
+		{"single core degrades to fully sequential", 25, 0, 0, 1, 1, 1},
+		{"pinned-pinned within budget untouched", 25, 2, 4, 8, 2, 4},
+		{"pinned-pinned overflow: LP request wins", 25, 4, 4, 8, 2, 4},
+		{"cell workers never exceed cell count", 3, 0, 0, 8, 3, 2},
+		{"lp floor is one even when cells eat the budget", 25, 8, 3, 8, 2, 3},
+		{"degenerate inputs clamp", 0, -1, -1, 0, 1, 1},
+	}
+	for _, c := range cases {
+		cw, lw := Arbitrate(c.cells, c.cellW, c.lpW, c.procs)
+		if cw != c.wantCW || lw != c.wantLW {
+			t.Errorf("%s: Arbitrate(%d,%d,%d,%d) = (%d,%d), want (%d,%d)",
+				c.name, c.cells, c.cellW, c.lpW, c.procs, cw, lw, c.wantCW, c.wantLW)
+		}
+		if cw*lw > maxInt(c.procs, 1) {
+			t.Errorf("%s: budget exceeded: %d x %d > %d", c.name, cw, lw, c.procs)
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -14,7 +14,9 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	"repro/internal/cluster"
@@ -24,10 +26,50 @@ import (
 type Cell struct {
 	Config cluster.Config
 
+	// Label, when non-empty, tags the cell's goroutine with a pprof label
+	// ("cell" => Label) for the duration of the run, so CPU profiles of a
+	// sweep attribute samples per cell (`go tool pprof -tagfocus`).
+	Label string
+
 	// OnDone, when non-nil, runs as the cell completes. The scheduler
 	// serializes OnDone calls through a single mutex, so callbacks may
 	// write progress lines to a shared io.Writer without interleaving.
 	OnDone func(*cluster.Result)
+}
+
+// Arbitrate splits a core budget between cell-level and intra-cell (LP)
+// parallelism so a sweep never oversubscribes the host:
+// cellWorkers x lpWorkers <= procs.
+//
+// cellWorkers/lpWorkers follow the option convention: < 1 means "auto".
+// Auto cell workers take min(procs, cells); auto LP workers take whatever
+// budget remains per cell (procs / cellWorkers). When both are pinned and
+// their product exceeds the budget, the explicit LP request wins — LP
+// workers waiting at an epoch barrier waste more than idle cell slots — and
+// cell workers shrink to fit. Results are always >= 1 each.
+func Arbitrate(cells, cellWorkers, lpWorkers, procs int) (cw, lw int) {
+	if procs < 1 {
+		procs = 1
+	}
+	if cells < 1 {
+		cells = 1
+	}
+	if cellWorkers < 1 {
+		cellWorkers = procs
+	}
+	if cellWorkers > cells {
+		cellWorkers = cells
+	}
+	if lpWorkers < 1 {
+		lpWorkers = procs / cellWorkers
+		if lpWorkers < 1 {
+			lpWorkers = 1
+		}
+	}
+	for cellWorkers > 1 && cellWorkers*lpWorkers > procs {
+		cellWorkers--
+	}
+	return cellWorkers, lpWorkers
 }
 
 // Result pairs one cell's outcome with its submission slot: Run returns one
@@ -55,7 +97,15 @@ func Run(cells []Cell, workers int) []Result {
 	res := make([]Result, len(cells))
 	var mu sync.Mutex // serializes OnDone across concurrent cells
 	forEach(len(cells), workers, func(i int) error {
-		r, err := cluster.Run(cells[i].Config)
+		var r *cluster.Result
+		var err error
+		if cells[i].Label != "" {
+			pprof.Do(context.Background(), pprof.Labels("cell", cells[i].Label), func(context.Context) {
+				r, err = cluster.Run(cells[i].Config)
+			})
+		} else {
+			r, err = cluster.Run(cells[i].Config)
+		}
 		if err != nil {
 			res[i].Err = err
 			return err
