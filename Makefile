@@ -17,9 +17,13 @@ test:
 
 # Full gate: vet plus the test suite under the race detector. The parallel
 # sweep runner makes every experiment concurrent, so races are first-class
-# correctness bugs here.
+# correctness bugs here. The NIC fast-path differential and the capacity
+# smoke run explicitly on top: the fast path elides events, so its on/off
+# equivalence proof and the open-loop sweep that leans on it are gate-level.
 check: vet
 	$(GO) test -race ./...
+	$(GO) test -race ./internal/cluster/ -run 'TestNICFastPathDifferential|TestNICFastPathEventReduction'
+	$(GO) run ./cmd/ddpbench -exp capacity -quick > /dev/null
 
 # One testing.B benchmark per paper table/figure plus engine micro-benches.
 bench:

@@ -196,3 +196,119 @@ func BenchmarkRecoveryTimes(b *testing.B) {
 		r.WriteText(io.Discard)
 	}
 }
+
+// BenchmarkNICFastPath measures the flow-level delivery fast path on two
+// cell shapes: the paper's default <Lin, Sync> cell (heavily multiplexed —
+// the shared-engine gap proof rarely holds, so hits are modest) and an
+// uncontended fig6-style cell (sparse flows — most arrivals deliver in one
+// dispatch). Results are byte-identical on and off (see
+// TestNICFastPathDifferential); only event counts and wall time change.
+// results/BENCH_openloop.json records a measured before/after pair.
+func BenchmarkNICFastPath(b *testing.B) {
+	shapes := []struct {
+		name string
+		mut  func(*cluster.Config)
+	}{
+		{"default-5x20", func(cfg *cluster.Config) {}},
+		{"uncontended-3x1", func(cfg *cluster.Config) {
+			cfg.Params.Servers = 3
+			cfg.Params.ClientsPerServer = 1
+		}},
+	}
+	for _, sh := range shapes {
+		base := cluster.Config{
+			Model:     core.Model{C: core.Linearizable, P: core.Synchronous},
+			Workload:  ycsb.WorkloadA,
+			Params:    params.Default(),
+			Seed:      1,
+			WarmupNs:  1_000_000,
+			MeasureNs: 5_000_000,
+		}
+		sh.mut(&base)
+		for _, fast := range []bool{false, true} {
+			cfg := base
+			cfg.NoNICFastPath = !fast
+			name := sh.name + "/off"
+			if fast {
+				name = sh.name + "/on"
+			}
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					r, err := cluster.Run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(r.Events), "events")
+						b.ReportMetric(float64(r.NetFastHops), "fasthops")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkOpenLoop measures the open-loop load engine: a near-knee Poisson
+// cell and the million-session overload ramp (one underprovisioned node,
+// 2G arrivals/s). The issue path allocates nothing in steady state
+// (TestOpenLoopSessionPoolZeroAlloc); in-flight records are the only cost.
+func BenchmarkOpenLoop(b *testing.B) {
+	b.Run("poisson-near-knee", func(b *testing.B) {
+		cfg := cluster.Config{
+			Model:     core.Model{C: core.Linearizable, P: core.Synchronous},
+			Workload:  ycsb.WorkloadA,
+			Params:    params.Default(),
+			Seed:      1,
+			WarmupNs:  300_000,
+			MeasureNs: 1_200_000,
+			Arrivals:  &ycsb.ArrivalSpec{Shape: ycsb.ShapePoisson, RatePerSec: 20e6},
+		}
+		for i := 0; i < b.N; i++ {
+			r, err := cluster.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(r.Offered), "offered")
+				b.ReportMetric(float64(r.InflightPeak), "peak")
+			}
+		}
+	})
+	b.Run("million-sessions", func(b *testing.B) {
+		cfg := cluster.Config{
+			Model:     core.Model{C: core.Eventual, P: core.EventualP},
+			Workload:  ycsb.WorkloadC,
+			Params:    params.Default(),
+			Seed:      1,
+			WarmupNs:  100_000,
+			MeasureNs: 500_000,
+			Arrivals:  &ycsb.ArrivalSpec{Shape: ycsb.ShapePoisson, RatePerSec: 2e9},
+		}
+		cfg.Params.Servers = 1
+		cfg.Params.WorkersPerServer = 1
+		cfg.Params.RequestCompute = 500_000
+		for i := 0; i < b.N; i++ {
+			r, err := cluster.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(r.InflightPeak), "peak")
+			}
+		}
+	})
+}
+
+// BenchmarkCapacity runs the full offered-load sweep (4 corner models x
+// 6 Poisson multiples + storms) at quick scale — the capacity experiment's
+// cost envelope, and the CI smoke target.
+func BenchmarkCapacity(b *testing.B) {
+	o := benchOptions().Quick()
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Capacity(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.WriteText(io.Discard)
+	}
+}

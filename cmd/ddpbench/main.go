@@ -2,7 +2,12 @@
 //
 // Usage:
 //
-//	ddpbench -exp table1|table4|table5|fig6|fig7|fig8|fig9|stats|durability|ablation|recovery|timelines|hybrid|checker|models|bindings|all [-quick]
+//	ddpbench -exp table1|table4|table5|fig6|fig7|fig8|fig9|stats|durability|ablation|recovery|timelines|hybrid|checker|capacity|models|bindings|all [-quick]
+//
+// The capacity experiment (not part of -exp all) sweeps open-loop offered
+// load against p50/p99/p999 latency for four corner DDP models, locates each
+// model's capacity knee, and adds a bursty hot-key storm cell; -csv emits the
+// curves as tidy rows.
 //
 // Performance investigation flags: -cpuprofile/-memprofile write pprof
 // profiles covering the experiment run; -eventstats prints per-cell
@@ -25,11 +30,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, table4, table5, fig6, fig7, fig8, fig9, stats, durability, ablation, recovery, timelines, hybrid, checker, models, bindings, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, table4, table5, fig6, fig7, fig8, fig9, stats, durability, ablation, recovery, timelines, hybrid, checker, capacity, models, bindings, all")
 	quick := flag.Bool("quick", false, "shrink the cluster and windows for a fast smoke run")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	engine := flag.String("engine", "", "kv engine: hashtable, map, btree, bplustree, memcache, walstore (default hashtable)")
-	csvOut := flag.Bool("csv", false, "emit tidy CSV instead of text (fig6/fig7/fig8/fig9/durability)")
+	csvOut := flag.Bool("csv", false, "emit tidy CSV instead of text (fig6/fig7/fig8/fig9/durability/capacity)")
 	parallel := flag.Int("parallel", 0, "experiment cells to run concurrently (0 = all cores, 1 = sequential; never changes results)")
 	lps := flag.Int("lps", 1, "logical-process workers inside each cell (1 = sequential engine, 0 = auto-split cores with -parallel, N = N workers; never changes results)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")

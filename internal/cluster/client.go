@@ -81,8 +81,7 @@ func (r *opRec) readDone(st protocol.Stamp) {
 	c, key, start := r.c, r.key, r.start
 	c.putRec(r)
 	c.outstanding--
-	c.ns.recordRead(c.ns.eng.Now() - start)
-	c.ns.logRead(ReadRecord{Key: key, Stamp: st, Client: c.id, Node: c.node.ID(), IssueAt: start, DoneAt: c.ns.eng.Now()})
+	c.ns.finishRead(start, key, st, c.id, c.node.ID())
 	c.opsInScope++
 	c.next()
 }
@@ -93,11 +92,7 @@ func (r *opRec) writeDone(st protocol.Stamp) {
 	c, key, scope, start := r.c, r.key, r.scope, r.start
 	c.putRec(r)
 	c.outstanding--
-	c.ns.recordWrite(c.ns.eng.Now() - start)
-	idx := c.ns.logWrite(WriteRecord{
-		Key: key, Stamp: st, Client: c.id, IssueAt: start, AckAt: c.ns.eng.Now(),
-		Scope: scope, ScopePersisted: !c.scoped(),
-	})
+	idx := c.ns.finishWrite(start, key, st, c.id, scope, !c.scoped())
 	if idx >= 0 && c.scoped() {
 		c.scopeRecs = append(c.scopeRecs, idx)
 	}
@@ -280,8 +275,7 @@ func (c *client) txnStep(gen, id uint64, idx int) {
 			// and measured per attempt; the retry cost of conflicts lands on
 			// the writes, whose latency spans to the commit (Section 8.1.1:
 			// writes bunch up and pay for restarts).
-			c.ns.recordRead(c.ns.eng.Now() - issuedAt)
-			c.ns.logRead(ReadRecord{Key: op.Key, Stamp: st, Client: c.id, Node: c.node.ID(), IssueAt: issuedAt, DoneAt: c.ns.eng.Now()})
+			c.ns.finishRead(issuedAt, op.Key, st, c.id, c.node.ID())
 			c.txnStep(gen, id, idx+1)
 		})
 		return
@@ -298,16 +292,11 @@ func (c *client) txnStep(gen, id uint64, idx int) {
 // txnCommitted records the committed writes — a transactional write is only
 // "satisfied" once its transaction commits (Section 8.1.1) — and loops.
 func (c *client) txnCommitted() {
-	now := c.ns.eng.Now()
 	for i, op := range c.txnOps {
 		if op.Kind != ycsb.OpWrite {
 			continue
 		}
-		c.ns.recordWrite(now - c.txnFirst[i])
-		idx := c.ns.logWrite(WriteRecord{
-			Key: op.Key, Stamp: c.txnStamps[i], Client: c.id, IssueAt: c.txnFirst[i], AckAt: now,
-			Scope: c.curScope(), ScopePersisted: !c.scoped(),
-		})
+		idx := c.ns.finishWrite(c.txnFirst[i], op.Key, c.txnStamps[i], c.id, c.curScope(), !c.scoped())
 		if idx >= 0 && c.scoped() {
 			c.scopeRecs = append(c.scopeRecs, idx)
 		}

@@ -46,6 +46,17 @@ type Config struct {
 	WarmupNs  int64
 	MeasureNs int64
 
+	// Arrivals switches the cell from closed-loop clients to the open-loop
+	// load engine: requests arrive on a deterministic generated schedule
+	// (RatePerSec is cluster-wide, split evenly across servers) and latency
+	// is measured from each request's intended arrival instant, making the
+	// distributions coordinated-omission-safe. ClientsPerServer and
+	// ClientWindow are ignored. Open loop supports the plain request kinds
+	// only: Transactional consistency and Scope persistency (whose
+	// transactions and barriers are inherently closed-loop session state)
+	// are rejected. Nil (the default) keeps the closed loop.
+	Arrivals *ycsb.ArrivalSpec
+
 	// IntraParallel is how many worker goroutines advance this cell's
 	// per-node logical processes concurrently. Values <= 1 select the
 	// sequential engine (the default, and the only choice on single-core
@@ -53,6 +64,13 @@ type Config struct {
 	// count. Never changes any reported number — only wall-clock time.
 	// Ignored (sequential) when TraceProtocol is set or Servers == 1.
 	IntraParallel int
+
+	// NoNICFastPath disables the network's flow-level delivery fast path
+	// (simnet.Config.NoFastPath). The fast path is on by default and never
+	// changes any simulated outcome — only the event count — which
+	// TestNICFastPathDifferential proves; this switch exists for that proof
+	// and for before/after event accounting (results/BENCH_openloop.json).
+	NoNICFastPath bool
 
 	// TrackHistory records every acknowledged write and completed read for
 	// the recovery and intuition checkers. Costs memory; off by default.
@@ -118,6 +136,7 @@ type Result struct {
 	NVMMaxQueue    int
 	NetMessages    uint64
 	NetBytes       uint64
+	NetFastHops    uint64 // arrivals delivered via the NIC one-hop fast path
 	WorkerMeanWait float64
 
 	// Scope persist barrier latency (only under Scope persistency).
@@ -125,6 +144,14 @@ type Result struct {
 
 	// Causal reorder buffering high-water mark across replicas.
 	BufferPeak int
+
+	// Open-loop accounting (Config.Arrivals runs only): arrivals issued
+	// during the measurement window (offered ops — compare against
+	// Summary.Ops for achieved), completions observed in the window, and the
+	// concurrent-session high-water mark across the whole run.
+	Offered      uint64
+	Completed    uint64
+	InflightPeak int
 
 	SimTimeNs int64
 	Events    uint64
@@ -184,6 +211,26 @@ func (ns *nodeState) recordScope(lat int64) {
 	}
 }
 
+// finishRead records a completed read — latency from start plus the history
+// entry — in one step shared by the closed-loop client and the open-loop
+// session table.
+func (ns *nodeState) finishRead(start int64, key uint64, st protocol.Stamp, client, node int) {
+	now := ns.eng.Now()
+	ns.recordRead(now - start)
+	ns.logRead(ReadRecord{Key: key, Stamp: st, Client: client, Node: node, IssueAt: start, DoneAt: now})
+}
+
+// finishWrite records a completed write the same way, returning the history
+// index (or -1) so scoped writers can tag the record at their barrier.
+func (ns *nodeState) finishWrite(start int64, key uint64, st protocol.Stamp, client int, scope uint64, persisted bool) int {
+	now := ns.eng.Now()
+	ns.recordWrite(now - start)
+	return ns.logWrite(WriteRecord{
+		Key: key, Stamp: st, Client: client, IssueAt: start, AckAt: now,
+		Scope: scope, ScopePersisted: persisted,
+	})
+}
+
 // logWrite appends to the node's write history when tracking, returning the
 // record index (or -1).
 func (ns *nodeState) logWrite(rec WriteRecord) int {
@@ -215,6 +262,9 @@ type Cluster struct {
 	Devices  []*nvm.Device
 	Workers  []*sim.Pool
 	Clients  []*client
+	// Sources are the per-node open-loop load engines (Config.Arrivals runs
+	// only); Clients is empty then.
+	Sources []*openSource
 
 	nodes []*nodeState
 	lps   *sim.LPGroup
@@ -243,6 +293,18 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.Model.C != core.Linearizable && cfg.Model.C != core.ReadEnforcedC {
 		return nil, fmt.Errorf("cluster: hybrid groups support Linearizable or Read-Enforced consistency, not %s", cfg.Model.C)
 	}
+	if cfg.Arrivals != nil {
+		if err := cfg.Arrivals.Validate(); err != nil {
+			return nil, err
+		}
+		impl := core.ImplOf(cfg.Model)
+		if impl.C == core.Transactional {
+			return nil, fmt.Errorf("cluster: open-loop arrivals do not support Transactional consistency (transactions are closed-loop session state)")
+		}
+		if impl.P == core.Scope {
+			return nil, fmt.Errorf("cluster: open-loop arrivals do not support Scope persistency (scope barriers are closed-loop session state)")
+		}
+	}
 
 	p := cfg.Params
 	netCfg := simnet.Config{
@@ -252,6 +314,7 @@ func New(cfg Config) (*Cluster, error) {
 		Bandwidth:  p.NetBandwidth,
 		QueuePairs: p.QueuePairs,
 		Seed:       cfg.Seed,
+		NoFastPath: cfg.NoNICFastPath,
 	}
 	useLP := cfg.useLP()
 	if useLP {
@@ -322,6 +385,27 @@ func New(cfg Config) (*Cluster, error) {
 		}))
 	}
 
+	if cfg.Arrivals != nil {
+		// Open loop: one source per node carrying an even share of the
+		// cluster-wide offered rate, each with its own forked arrival and
+		// workload streams.
+		spec := *cfg.Arrivals
+		spec.RatePerSec /= float64(p.Servers)
+		for n := 0; n < p.Servers; n++ {
+			kc := ycsb.NewZipfian(p.Keys, p.ZipfTheta)
+			gen := ycsb.NewGenerator(cfg.Workload, kc, rng.Fork())
+			arr, err := ycsb.NewArrivals(spec, rng.Fork())
+			if err != nil {
+				return nil, err
+			}
+			c.Sources = append(c.Sources, &openSource{
+				cl: c, ns: c.nodes[n], node: c.Replicas[n],
+				gen: gen, kc: kc, arr: arr, rng: rng.Fork(),
+			})
+		}
+		return c, nil
+	}
+
 	// Clients: ClientsPerServer per node, each with an independent
 	// deterministic request stream over the shared key space.
 	id := 0
@@ -336,8 +420,13 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// Start launches every client's closed loop at simulated time 0.
+// Start launches the load at simulated time 0: every closed-loop client, or
+// every open-loop source's arrival chain.
 func (c *Cluster) Start() {
+	for _, src := range c.Sources {
+		src := src
+		src.ns.eng.Schedule(0, src.start)
+	}
 	for _, cl := range c.Clients {
 		cl := cl
 		cl.ns.eng.Schedule(0, cl.start)
@@ -387,6 +476,13 @@ func (c *Cluster) Collect(window int64, wall time.Duration) *Result {
 		res.Events = c.Eng.Processed()
 		res.Sched = c.Eng.Stats()
 	}
+	for _, src := range c.Sources {
+		res.Offered += src.arrivals
+		res.Completed += src.late
+		if src.peak > res.InflightPeak {
+			res.InflightPeak = src.peak
+		}
+	}
 	res.Summary = stats.Summarize(&res.ReadHist, &res.WriteHist, window)
 	var waitSum float64
 	for i, r := range c.Replicas {
@@ -408,6 +504,7 @@ func (c *Cluster) Collect(window int64, wall time.Duration) *Result {
 	res.WorkerMeanWait = waitSum / n
 	res.NetMessages = c.Net.Messages()
 	res.NetBytes = c.Net.Bytes()
+	res.NetFastHops = c.Net.FastDeliveries()
 	return res
 }
 
@@ -426,6 +523,12 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return runBuilt(c)
+}
+
+// runBuilt runs an already-constructed cluster (tests prewarm pools between
+// New and the run) and closes it.
+func runBuilt(c *Cluster) (*Result, error) {
 	defer c.Close()
 	start := time.Now()
 	c.Start()

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCapacityQuick runs the full sweep on the quick grid and checks the
+// curve shape: every corner model sustains light load, falls behind past
+// its knee, and pays for overload in latency measured from intended
+// arrival times.
+func TestCapacityQuick(t *testing.T) {
+	r, err := Capacity(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Curves) != 4 {
+		t.Fatalf("curves = %d, want 4 corner models", len(r.Curves))
+	}
+	for _, c := range r.Curves {
+		if len(c.Points) != len(capacityFracs) {
+			t.Fatalf("%s: points = %d, want %d", c.Model, len(c.Points), len(capacityFracs))
+		}
+		if c.Closed.Summary.Throughput <= 0 {
+			t.Fatalf("%s: no closed-loop baseline", c.Model)
+		}
+		// Light load must be sustained: the knee sits at or above the grid
+		// floor, never below it.
+		if c.Knee < 0 {
+			t.Fatalf("%s: even %.2fx closed-loop load fell behind", c.Model, capacityFracs[0])
+		}
+		for j := range c.Points {
+			p := &c.Points[j]
+			if p.Res.Offered == 0 {
+				t.Fatalf("%s frac %.2f: no arrivals", c.Model, p.Frac)
+			}
+			s := p.Res.Summary
+			if s.P50Read > s.P99Read || s.P99Read > s.P999Read {
+				t.Fatalf("%s frac %.2f: read quantiles out of order: %d/%d/%d",
+					c.Model, p.Frac, s.P50Read, s.P99Read, s.P999Read)
+			}
+		}
+		// The grid must bracket the knee: the 16x cell is past it.
+		top := &c.Points[len(c.Points)-1]
+		if top.Sustained() {
+			t.Fatalf("%s: %gx closed-loop load still sustained — grid does not bracket the knee", c.Model, top.Frac)
+		}
+		// Overload shows up as queueing delay from the intended arrival
+		// instants: the top cell's mean latency must dwarf the bottom cell's.
+		lo := c.Points[0].Res.Summary.MeanAll
+		hi := top.Res.Summary.MeanAll
+		if hi <= 2*lo {
+			t.Fatalf("%s: overload latency %.0fns does not reflect the backlog (light load %.0fns)",
+				c.Model, hi, lo)
+		}
+		if c.Storm.Res == nil || c.Storm.Res.Offered == 0 {
+			t.Fatalf("%s: storm cell did not run", c.Model)
+		}
+	}
+}
+
+// TestCapacityRenderings checks the text table and CSV agree on structure.
+func TestCapacityRenderings(t *testing.T) {
+	r, err := Capacity(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt bytes.Buffer
+	r.WriteText(&txt)
+	for _, frag := range []string{"Capacity", "knee", "storm", "p999 wr"} {
+		if !strings.Contains(txt.String(), frag) {
+			t.Fatalf("capacity text missing %q", frag)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// header + 4 models x (7 poisson points + 1 storm)
+	if want := 1 + 4*(len(capacityFracs)+1); len(lines) != want {
+		t.Fatalf("capacity csv lines = %d, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[0], "consistency,persistency,phase,frac") {
+		t.Fatalf("csv header wrong: %q", lines[0])
+	}
+	storms := 0
+	for _, l := range lines[1:] {
+		if strings.Contains(l, ",storm,") {
+			storms++
+		}
+	}
+	if storms != 4 {
+		t.Fatalf("csv storm rows = %d, want 4", storms)
+	}
+}

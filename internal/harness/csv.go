@@ -102,8 +102,49 @@ func (d *DurabilityResult) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// WriteCSV emits the capacity sweep as tidy rows: one line per open-loop
+// cell, tagged with its phase (poisson or storm) and knee membership.
+func (r *CapacityResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"consistency", "persistency", "phase", "frac", "closed_ops",
+		"offered_rate", "offered_ops", "achieved_ops", "knee",
+		"p50_read_ns", "p99_read_ns", "p999_read_ns",
+		"p50_write_ns", "p99_write_ns", "p999_write_ns", "inflight_peak",
+	}); err != nil {
+		return err
+	}
+	row := func(c *CapacityCurve, p *CapacityPoint, phase string, knee bool) error {
+		s := p.Res.Summary
+		return cw.Write([]string{
+			c.Model.C.String(), c.Model.P.String(), phase,
+			strconv.FormatFloat(p.Frac, 'g', -1, 64),
+			strconv.FormatFloat(c.Closed.Summary.Throughput, 'g', -1, 64),
+			strconv.FormatFloat(p.OfferedRate, 'g', -1, 64),
+			strconv.FormatFloat(p.Offered(), 'g', -1, 64),
+			strconv.FormatFloat(p.Achieved(), 'g', -1, 64),
+			strconv.FormatBool(knee),
+			strconv.FormatInt(s.P50Read, 10), strconv.FormatInt(s.P99Read, 10), strconv.FormatInt(s.P999Read, 10),
+			strconv.FormatInt(s.P50Write, 10), strconv.FormatInt(s.P99Write, 10), strconv.FormatInt(s.P999Write, 10),
+			strconv.Itoa(p.Res.InflightPeak),
+		})
+	}
+	for _, c := range r.Curves {
+		for j := range c.Points {
+			if err := row(c, &c.Points[j], "poisson", j == c.Knee); err != nil {
+				return err
+			}
+		}
+		if err := row(c, &c.Storm, "storm", false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RunNamedCSV runs a CSV-capable experiment and writes tidy rows to w.
-// Supported: fig6, fig7, fig8, fig9, durability.
+// Supported: fig6, fig7, fig8, fig9, durability, capacity.
 func RunNamedCSV(w io.Writer, name string, o Options) error {
 	switch name {
 	case "fig6":
@@ -136,7 +177,13 @@ func RunNamedCSV(w io.Writer, name string, o Options) error {
 			return err
 		}
 		return d.WriteCSV(w)
+	case "capacity":
+		c, err := Capacity(o)
+		if err != nil {
+			return err
+		}
+		return c.WriteCSV(w)
 	default:
-		return fmt.Errorf("experiment %q has no CSV form (use fig6/fig7/fig8/fig9/durability)", name)
+		return fmt.Errorf("experiment %q has no CSV form (use fig6/fig7/fig8/fig9/durability/capacity)", name)
 	}
 }

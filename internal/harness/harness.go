@@ -55,6 +55,13 @@ type Options struct {
 	// simulated second, peak pending-event depth, and the wheel/overflow
 	// split (ddpbench -eventstats).
 	EventStats bool
+
+	// Arrivals, when non-nil, switches cells built from these Options to
+	// the open-loop load engine (cluster.Config.Arrivals): requests arrive
+	// on the generated schedule regardless of completions, so offered load
+	// is a free variable. Nil — the default — keeps the paper's closed-loop
+	// clients. The capacity experiment sets this per cell.
+	Arrivals *ycsb.ArrivalSpec
 }
 
 // DefaultOptions returns the paper's evaluation configuration.
@@ -87,6 +94,7 @@ func (o Options) config(m core.Model, w ycsb.Workload) cluster.Config {
 		Seed:      o.Seed,
 		WarmupNs:  o.WarmupNs,
 		MeasureNs: o.MeasureNs,
+		Arrivals:  o.Arrivals,
 	}
 }
 

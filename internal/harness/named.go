@@ -90,11 +90,19 @@ func RunNamed(w io.Writer, name string, o Options) error {
 			return err
 		}
 		ch.WriteText(w)
+	case "capacity":
+		c, err := Capacity(o)
+		if err != nil {
+			return err
+		}
+		c.WriteText(w)
 	case "models":
 		WriteModelReference(w)
 	case "bindings":
 		WriteBindings(w)
 	case "all":
+		// capacity is excluded: its open-loop sweep runs 36 cells and is a
+		// study of its own rather than part of the paper reproduction.
 		for _, e := range []string{"table1", "table5", "fig6", "fig7", "fig8", "fig9", "stats", "table4", "durability", "ablation", "recovery", "timelines", "hybrid", "checker", "models"} {
 			if err := RunNamed(w, e, o); err != nil {
 				return fmt.Errorf("%s: %w", e, err)

@@ -111,6 +111,12 @@ type Engine struct {
 	// scheduler at all when the bound already proves the arrival wins.
 	schedLB int64
 
+	// runUntil is the time bound of the Run in progress (maxTime inside
+	// RunAll/Step, 0 before the first Run). TryAdvance refuses to move the
+	// clock to it or past it, so clock jumps never cross a phase boundary
+	// (measurement flips, LP epoch barriers) that the bound encodes.
+	runUntil int64
+
 	// ing, when bound, feeds externally keyed arrivals into the dispatch
 	// loop; at equal timestamps arrivals run before locally scheduled
 	// events (see Ingress).
@@ -259,6 +265,48 @@ func (e *Engine) headHint() int64 {
 
 const maxTime = int64(^uint64(0) >> 1)
 
+// headAt returns the earliest pending local event time (maxTime when the
+// scheduler is empty) without dispatching anything.
+func (e *Engine) headAt() int64 {
+	if e.useHeap {
+		return e.heap.headAt()
+	}
+	return e.wheel.headAt()
+}
+
+// TryAdvance reports whether the engine can prove that nothing is pending —
+// no local event and no ingress arrival — at or before time t, with t still
+// strictly inside the current Run's bound; when so it advances the clock to
+// t and returns true. The caller may then perform work "at t" directly,
+// exactly as a scheduled event at t would have, without paying for the
+// event: the simnet fast path uses this to collapse an uncontended
+// arrive→deliver pair into one dispatch. On false the clock is untouched
+// and the caller must fall back to scheduling normally.
+//
+// The strict runUntil bound keeps the jump inside the dispatch window the
+// caller is known to be draining: a Run(until) boundary is where phase
+// flips (measurement on/off) and LP epoch barriers (new cross-LP arrivals
+// becoming visible) happen, so work at or past it must go through a real
+// event.
+func (e *Engine) TryAdvance(t int64) bool {
+	if t >= e.runUntil || t < e.now {
+		return false
+	}
+	if e.ing != nil && e.ing.Len() > 0 && e.ing.HeadAt() <= t {
+		return false
+	}
+	if t >= e.schedLB {
+		// The lower bound does not prove the gap; probe the real head.
+		head := e.headAt()
+		if head <= t {
+			return false
+		}
+		e.schedLB = head
+	}
+	e.now = t
+	return true
+}
+
 // dispatchOne executes the next event at or before until — the earlier of
 // the scheduler head and the ingress head, arrivals first on ties — and
 // reports whether anything ran.
@@ -313,6 +361,7 @@ func (e *Engine) popArrival() bool {
 // time at which it stopped. Events scheduled exactly at until are executed.
 func (e *Engine) Run(until int64) int64 {
 	e.stopped = false
+	e.runUntil = until
 	for !e.stopped && e.dispatchOne(until) {
 	}
 	if e.now < until && !e.stopped {
@@ -326,6 +375,7 @@ func (e *Engine) Run(until int64) int64 {
 // and workloads known to quiesce.
 func (e *Engine) RunAll() int64 {
 	e.stopped = false
+	e.runUntil = maxTime
 	for !e.stopped && e.dispatchOne(maxTime) {
 	}
 	return e.now
@@ -334,6 +384,7 @@ func (e *Engine) RunAll() int64 {
 // Step executes exactly one event if any is pending and reports whether it
 // did.
 func (e *Engine) Step() bool {
+	e.runUntil = maxTime
 	return e.dispatchOne(maxTime)
 }
 

@@ -210,6 +210,24 @@ func (w *timingWheel) popIfAtMost(limit int64) (event, bool) {
 	return ev, true
 }
 
+// headAt returns the earliest pending event time without dispatching or
+// re-bucketing anything (maxTime when empty). The true head is the minimum
+// over the window and the overflow level: drainOverflow only ever moves
+// events between the two, so peeking both is exact.
+func (w *timingWheel) headAt() int64 {
+	head := maxTime
+	if w.count > 0 {
+		slot := w.firstOccupied()
+		head = w.wnow + int64((slot-int32(w.wnow))&wheelMask)
+	}
+	if w.overflow.len() > 0 {
+		if at := w.overflow.peek().at; at < head {
+			head = at
+		}
+	}
+	return head
+}
+
 // firstOccupied returns the first non-empty bucket in circular order from
 // wnow's cursor — the bucket holding the earliest pending time. Call only
 // when count > 0.

@@ -57,6 +57,16 @@ type Config struct {
 	Bandwidth  int64 // bits/s per NIC (each direction)
 	QueuePairs int   // max in-flight sends per NIC; extra sends queue
 	Seed       uint64
+
+	// NoFastPath disables the flow-level delivery fast path (see delivery
+	// and arrive): with the fast path on — the default — an arrival whose
+	// receive queue is idle and whose serialization window provably contains
+	// no other simulated work is handed to its handler in the same dispatch,
+	// at the identical timestamp the two-hop slow path would compute. The
+	// fast path never changes any simulated outcome, only the event count
+	// (see cluster's TestNICFastPathDifferential); this switch exists for
+	// that differential proof and for before/after event accounting.
+	NoFastPath bool
 }
 
 // Validate reports the first configuration error, if any.
@@ -121,6 +131,7 @@ type rxState struct {
 	rxFree   int64 // NIC receive next-free time
 	sumDelay int64
 	dropped  uint64
+	fast     uint64      // arrivals delivered through the one-hop fast path
 	free     []*delivery // recycled delivery records (LP wiring only)
 }
 
@@ -296,16 +307,36 @@ func (n *Network) newDelivery(at int) *delivery {
 // arrive runs when the message reaches the destination NIC: the receive-side
 // serialization queues in arrival order (cross-source interleavings at the
 // destination are decided by arrival, not send).
+//
+// Fast path: when the flow is uncontended — the receive queue is idle at the
+// arrival (rxStart == now) and the engine proves no other event, local or
+// ingress, falls inside the serialization window (now, rxDone] — the
+// intermediate queueing hop is skipped: the clock jumps to rxDone and the
+// handler runs in this same dispatch. The timestamp is byte-identical to the
+// slow path's (rxDone is computed the same way), the relative order of all
+// handler invocations is unchanged (nothing else was due in the window, and
+// the skipped event's unallocated sequence number shifts later sequence
+// numbers uniformly, preserving every tie-break), and rx bookkeeping evolves
+// identically — so only the event count differs. A busy receive queue falls
+// back automatically: the predecessor's pending deliver event at old rxFree
+// <= rxDone makes TryAdvance fail.
 func (d *delivery) arrive() {
 	n := d.n
 	to := d.msg.To
 	eng := n.engs[to]
-	rxStart := n.rx[to].rxFree
-	if now := eng.Now(); rxStart < now {
+	rx := &n.rx[to]
+	now := eng.Now()
+	rxStart := rx.rxFree
+	if rxStart < now {
 		rxStart = now
 	}
 	rxDone := rxStart + d.ser
-	n.rx[to].rxFree = rxDone
+	rx.rxFree = rxDone
+	if !n.cfg.NoFastPath && rxStart == now && eng.TryAdvance(rxDone) {
+		rx.fast++
+		d.deliver()
+		return
+	}
 	eng.AtEvent(rxDone, d, hopDeliver)
 }
 
@@ -473,6 +504,15 @@ func (n *Network) MessagesOfKind(kind int) uint64 {
 		if kind < len(n.tx[i].byKind) {
 			total += n.tx[i].byKind[kind]
 		}
+	}
+	return total
+}
+
+// FastDeliveries returns how many arrivals took the one-hop fast path.
+func (n *Network) FastDeliveries() uint64 {
+	var total uint64
+	for i := range n.rx {
+		total += n.rx[i].fast
 	}
 	return total
 }

@@ -1,6 +1,8 @@
 package simnet
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -317,4 +319,100 @@ func BenchmarkNetworkBroadcast(b *testing.B) {
 		}
 	}
 	e.RunAll()
+}
+
+// runFastPathTraffic drives a randomized unicast mix — sparse sends that
+// leave receive queues idle plus bursts that contend them — and records every
+// delivery as (node, from, payload, time). Returned alongside are the engine
+// event count and the number of fast-path deliveries.
+func runFastPathTraffic(t *testing.T, seed uint64, noFast bool) (got []string, events, fast uint64) {
+	t.Helper()
+	e := sim.New()
+	cfg := Config{Nodes: 3, OneWayLat: 500, Jitter: 100, Bandwidth: 1_000_000_000,
+		QueuePairs: 4, Seed: seed, NoFastPath: noFast}
+	n := New(e, cfg)
+	for i := 0; i < 3; i++ {
+		i := i
+		n.Register(i, func(m Message) {
+			got = append(got, fmt.Sprintf("n%d<-%d #%v @%d", i, m.From, m.Payload, e.Now()))
+		})
+	}
+	r := sim.NewRNG(seed * 77)
+	at := int64(0)
+	for k := 0; k < 300; k++ {
+		// Mostly sparse (uncontended, fast-path eligible), occasionally a
+		// burst of back-to-back sends that serialize behind each other.
+		if r.Intn(5) == 0 {
+			for b := 0; b < 4; b++ {
+				kk, bb := k, b
+				src, dst := r.Intn(3), r.Intn(3)
+				size := 64 + r.Intn(2000)
+				e.At(at, func() {
+					n.Send(Message{From: src, To: dst, Size: size, Payload: kk*10 + bb})
+				})
+			}
+		} else {
+			kk := k
+			src, dst := r.Intn(3), r.Intn(3)
+			size := 64 + r.Intn(2000)
+			e.At(at, func() {
+				n.Send(Message{From: src, To: dst, Size: size, Payload: kk})
+			})
+		}
+		at += int64(r.Intn(4000))
+	}
+	e.RunAll()
+	return got, e.Processed(), n.FastDeliveries()
+}
+
+// TestNICFastPathDeliveriesIdentical is the network-layer half of the
+// fast-path proof: over randomized traffic, every delivery lands at the same
+// node, from the same sender, with the same payload, at the same nanosecond,
+// whether or not the fast path is enabled — only the event count may differ,
+// and it must shrink.
+func TestNICFastPathDeliveriesIdentical(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		slow, slowEvents, slowFast := runFastPathTraffic(t, seed, true)
+		fastRun, fastEvents, fastHits := runFastPathTraffic(t, seed, false)
+		if slowFast != 0 {
+			t.Fatalf("seed %d: disabled run counted %d fast deliveries", seed, slowFast)
+		}
+		if !reflect.DeepEqual(slow, fastRun) {
+			for i := range slow {
+				if i >= len(fastRun) || slow[i] != fastRun[i] {
+					t.Fatalf("seed %d: delivery %d diverged:\n  slow: %s\n  fast: %s",
+						seed, i, slow[i], fastRun[i])
+				}
+			}
+			t.Fatalf("seed %d: delivery streams diverged in length: %d vs %d",
+				seed, len(slow), len(fastRun))
+		}
+		if fastHits == 0 {
+			t.Fatalf("seed %d: fast path never engaged on sparse traffic", seed)
+		}
+		if fastEvents+fastHits != slowEvents {
+			t.Fatalf("seed %d: events %d + fast %d != baseline events %d",
+				seed, fastEvents, fastHits, slowEvents)
+		}
+	}
+}
+
+// TestNICFastPathUncontendedSingleHop pins the mechanism: one message on an
+// idle link is delivered by the arrival dispatch itself — no separate deliver
+// event — at exactly arrival+serialization.
+func TestNICFastPathUncontendedSingleHop(t *testing.T) {
+	e := sim.New()
+	n := New(e, Config{Nodes: 2, OneWayLat: 500, Bandwidth: 1_000_000_000,
+		QueuePairs: 4})
+	var at int64 = -1
+	n.Register(1, func(Message) { at = e.Now() })
+	e.Schedule(0, func() { n.Send(Message{From: 0, To: 1, Size: 1250}) })
+	e.RunAll()
+	// tx serialization 10us, one-way 500, rx serialization 10us.
+	if at != 20500 {
+		t.Fatalf("delivered at %d, want 20500", at)
+	}
+	if n.FastDeliveries() != 1 {
+		t.Fatalf("fast deliveries = %d, want 1", n.FastDeliveries())
+	}
 }

@@ -217,6 +217,14 @@ type Summary struct {
 	P95Write   int64
 	P99Read    int64
 	P99Write   int64
+	// Extreme tail (99.9th percentile): the capacity experiments track it
+	// because the knee of an offered-load curve shows up in p999 first.
+	P999Read  int64
+	P999Write int64
+
+	// P50Read/P50Write (medians) anchor the capacity curves' lower band.
+	P50Read  int64
+	P50Write int64
 }
 
 // Summarize computes a Summary from read/write histograms and a window.
@@ -236,6 +244,10 @@ func Summarize(read, write *Histogram, windowNs int64) Summary {
 		P95Write:   write.Percentile(95),
 		P99Read:    read.Percentile(99),
 		P99Write:   write.Percentile(99),
+		P999Read:   read.Percentile(99.9),
+		P999Write:  write.Percentile(99.9),
+		P50Read:    read.Percentile(50),
+		P50Write:   write.Percentile(50),
 	}
 }
 

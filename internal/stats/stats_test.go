@@ -222,3 +222,29 @@ func TestMedianOf(t *testing.T) {
 		t.Fatalf("even median = %g, want 2.5", m)
 	}
 }
+
+// TestSummarizeTailFields: the p50/p999 summary fields added for the
+// capacity experiments follow the underlying histogram percentiles and order
+// correctly against the p95/p99 band.
+func TestSummarizeTailFields(t *testing.T) {
+	var rd, wr Histogram
+	for i := int64(1); i <= 10_000; i++ {
+		rd.Record(i)
+		wr.Record(2 * i)
+	}
+	s := Summarize(&rd, &wr, 1_000_000)
+	if s.P50Read != rd.Percentile(50) || s.P999Read != rd.Percentile(99.9) {
+		t.Fatalf("read tail fields diverge from histogram: %+v", s)
+	}
+	if s.P50Write != wr.Percentile(50) || s.P999Write != wr.Percentile(99.9) {
+		t.Fatalf("write tail fields diverge from histogram: %+v", s)
+	}
+	if !(s.P50Read <= s.P95Read && s.P95Read <= s.P99Read && s.P99Read <= s.P999Read) {
+		t.Fatalf("percentile order violated: p50=%d p95=%d p99=%d p999=%d",
+			s.P50Read, s.P95Read, s.P99Read, s.P999Read)
+	}
+	// 99.9th of 1..10000 is ~9990; the log buckets land within a few percent.
+	if s.P999Read < 9000 || s.P999Read > 11000 {
+		t.Fatalf("p999 read %d far from ~9990", s.P999Read)
+	}
+}
