@@ -17,13 +17,16 @@ test:
 
 # Full gate: vet plus the test suite under the race detector. The parallel
 # sweep runner makes every experiment concurrent, so races are first-class
-# correctness bugs here. The NIC fast-path differential and the capacity
-# smoke run explicitly on top: the fast path elides events, so its on/off
-# equivalence proof and the open-loop sweep that leans on it are gate-level.
+# correctness bugs here. The NIC fast-path differential, the sharded
+# differential, and the capacity/scaling smokes run explicitly on top: the
+# fast path elides events, and the sharded topology re-routes client ops
+# across replica groups, so their equivalence proofs are gate-level.
 check: vet
 	$(GO) test -race ./...
 	$(GO) test -race ./internal/cluster/ -run 'TestNICFastPathDifferential|TestNICFastPathEventReduction'
+	$(GO) test -race ./internal/cluster/ -run 'TestSharded'
 	$(GO) run ./cmd/ddpbench -exp capacity -quick > /dev/null
+	$(GO) run ./cmd/ddpbench -exp scaling -quick > /dev/null
 
 # One testing.B benchmark per paper table/figure plus engine micro-benches.
 bench:

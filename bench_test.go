@@ -67,6 +67,55 @@ func BenchmarkSingleCellLPs(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedCell measures one <Linearizable, Synchronous> cell with
+// the keyspace consistent-hash-partitioned across replica groups of 3, at
+// 1/4/16 shards (3–48 nodes), on the sequential and the logical-process
+// engine. Every shard runs the full VP x DP protocol; ~ (S-1)/S of client
+// ops pay the forwarding round-trip. results/BENCH_sharding.json records a
+// measured set of points.
+func BenchmarkShardedCell(b *testing.B) {
+	p := params.Default()
+	p.Servers = 3 // per-shard replication factor
+	p.ClientsPerServer = 4
+	base := cluster.Config{
+		Model:     core.Model{C: core.Linearizable, P: core.Synchronous},
+		Workload:  ycsb.WorkloadA,
+		Params:    p,
+		Seed:      1,
+		WarmupNs:  500_000,
+		MeasureNs: 2_000_000,
+	}
+	for _, shards := range []int{1, 4, 16} {
+		cfg := base
+		cfg.Shards = shards
+		cfg.Params.Servers = shards * p.Servers
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := cluster.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(r.Events), "events")
+					b.ReportMetric(r.Throughput()/1e6, "Mops/sim-s")
+					b.ReportMetric(float64(r.Routed), "routed")
+				}
+			}
+		})
+		if shards > 1 {
+			lp := cfg
+			lp.IntraParallel = 4
+			b.Run(fmt.Sprintf("shards=%d/lps=4", shards), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := cluster.Run(lp); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkTable1 regenerates the Section 3 motivation experiment
 // (paper: normalized throughput 1 / 1.32 / 4.08).
 func BenchmarkTable1(b *testing.B) {

@@ -30,9 +30,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, table4, table5, fig6, fig7, fig8, fig9, stats, durability, ablation, recovery, timelines, hybrid, checker, capacity, models, bindings, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, table4, table5, fig6, fig7, fig8, fig9, stats, durability, ablation, recovery, timelines, hybrid, checker, capacity, scaling, models, bindings, all")
 	quick := flag.Bool("quick", false, "shrink the cluster and windows for a fast smoke run")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	shards := flag.Int("shards", 0, "partition the keyspace across this many replica groups behind a consistent-hash ring (0 = the paper's single flat group)")
+	nodes := flag.Int("nodes", 0, "total simulated server nodes (0 = paper default; must equal shards*rf when both are set)")
+	rf := flag.Int("rf", 0, "replicas per shard; with -shards, sets nodes = shards*rf (0 = keep the default group size)")
 	engine := flag.String("engine", "", "kv engine: hashtable, map, btree, bplustree, memcache, walstore (default hashtable)")
 	csvOut := flag.Bool("csv", false, "emit tidy CSV instead of text (fig6/fig7/fig8/fig9/durability/capacity)")
 	parallel := flag.Int("parallel", 0, "experiment cells to run concurrently (0 = all cores, 1 = sequential; never changes results)")
@@ -51,6 +54,36 @@ func main() {
 	o.EventStats = *eventstats
 	if *quick {
 		o = o.Quick()
+	}
+
+	// Topology flags. -shards alone keeps the default group size per shard
+	// (each shard is a paper-sized replica group); -rf overrides that size;
+	// -nodes pins the total and must agree with shards*rf when both given.
+	if *shards < 0 || *nodes < 0 || *rf < 0 {
+		fmt.Fprintln(os.Stderr, "ddpbench: -shards/-nodes/-rf must be >= 0")
+		os.Exit(1)
+	}
+	groupSize := o.Params.Servers
+	if *rf > 0 {
+		groupSize = *rf
+	}
+	switch {
+	case *shards > 0:
+		o.Shards = *shards
+		o.Params.Servers = *shards * groupSize
+		if *nodes > 0 && *nodes != o.Params.Servers {
+			fmt.Fprintf(os.Stderr, "ddpbench: -nodes %d conflicts with -shards %d x -rf %d = %d\n",
+				*nodes, *shards, groupSize, o.Params.Servers)
+			os.Exit(1)
+		}
+	case *nodes > 0:
+		o.Params.Servers = *nodes
+		if *rf > 0 && *nodes%*rf != 0 {
+			fmt.Fprintf(os.Stderr, "ddpbench: -rf %d must divide -nodes %d\n", *rf, *nodes)
+			os.Exit(1)
+		}
+	case *rf > 0:
+		o.Params.Servers = *rf
 	}
 
 	if *cpuprofile != "" {

@@ -17,6 +17,7 @@ type client struct {
 	cl   *Cluster
 	ns   *nodeState // the client's home node: engine + measurement sinks
 	node *protocol.Replica
+	rt   *router // per-op shard routing; nil on unsharded clusters
 	gen  *ycsb.Generator
 	rng  *sim.RNG
 
@@ -173,7 +174,10 @@ func (c *client) next() {
 }
 
 // issueOne submits a single request of whatever kind the workload draws,
-// carrying its state in a recycled opRec.
+// carrying its state in a recycled opRec. On a sharded cluster the request
+// routes through the node's router to the shard owning its key; the
+// transactional and scoped session paths stay pinned to the home replica
+// (multi-shard configurations reject those models).
 func (c *client) issueOne() {
 	c.outstanding++
 	op := c.gen.Next()
@@ -181,6 +185,21 @@ func (c *client) issueOne() {
 	rec.key = op.Key
 	rec.scope = 0
 	rec.start = c.ns.eng.Now()
+	if rt := c.rt; rt != nil {
+		switch op.Kind {
+		case ycsb.OpScan:
+			rt.scan(op.Key, op.ScanLen, rec.onScan)
+		case ycsb.OpRMW:
+			rec.scope = c.curScope()
+			rt.rmw(op.Key, rec.scope, rec.onWrite)
+		case ycsb.OpRead:
+			rt.read(op.Key, rec.onRead)
+		default:
+			rec.scope = c.curScope()
+			rt.write(op.Key, rec.scope, rec.onWrite)
+		}
+		return
+	}
 	switch op.Kind {
 	case ycsb.OpScan:
 		c.node.ClientScan(op.Key, op.ScanLen, rec.onScan)

@@ -41,6 +41,20 @@ type Config struct {
 	Params   params.Params
 	Seed     uint64
 
+	// Shards partitions the keyspace across Servers/Shards-node replica
+	// groups behind a consistent-hash ring (see topology.go): each shard
+	// runs the full VP×DP protocol over its own group, and every client op
+	// routes to the shard owning its key — executing locally when the
+	// issuing node's shard owns it, else forwarded over the simulated
+	// network to a coordinator inside the owning shard (route.go). 0 (the
+	// default) keeps the paper's single flat replica group with no routing
+	// layer; 1 builds the routing layer over one all-servers shard, which
+	// produces byte-identical results to 0 (TestShard1MatchesDirect).
+	// Multi-shard clusters reject Transactional consistency, Scope
+	// persistency, and hybrid Groups: their client sessions span keys and
+	// would span shards.
+	Shards int
+
 	// WarmupNs and MeasureNs bound the run in simulated time.
 	// Zero values take the defaults (1 ms warmup, 5 ms measurement).
 	WarmupNs  int64
@@ -152,6 +166,13 @@ type Result struct {
 	Offered      uint64
 	Completed    uint64
 	InflightPeak int
+
+	// Sharded routing accounting (Config.Shards >= 1 runs only): ops
+	// forwarded to a remote shard during the measurement window, and ops
+	// executed by each shard (issued locally or forwarded in) — the
+	// hot-shard studies read their imbalance off ShardOps.
+	Routed   uint64
+	ShardOps []uint64
 
 	SimTimeNs int64
 	Events    uint64
@@ -269,6 +290,11 @@ type Cluster struct {
 	nodes []*nodeState
 	lps   *sim.LPGroup
 
+	// Sharded topology (Config.Shards >= 1): the consistent-hash ring and
+	// one client router per node.
+	ring    *ring
+	routers []*router
+
 	// Trace holds protocol events when Config.TraceProtocol is set.
 	Trace *trace.Log
 }
@@ -280,34 +306,13 @@ func (cfg Config) useLP() bool {
 	return cfg.IntraParallel > 1 && !cfg.TraceProtocol && cfg.Params.Servers > 1
 }
 
-// New builds a cluster per cfg. It validates parameters and the engine name.
-func New(cfg Config) (*Cluster, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Params.Validate(); err != nil {
-		return nil, err
-	}
-	if _, err := engines.New(cfg.Engine); err != nil {
-		return nil, err
-	}
-	if cfg.Params.Groups > 1 &&
-		cfg.Model.C != core.Linearizable && cfg.Model.C != core.ReadEnforcedC {
-		return nil, fmt.Errorf("cluster: hybrid groups support Linearizable or Read-Enforced consistency, not %s", cfg.Model.C)
-	}
-	if cfg.Arrivals != nil {
-		if err := cfg.Arrivals.Validate(); err != nil {
-			return nil, err
-		}
-		impl := core.ImplOf(cfg.Model)
-		if impl.C == core.Transactional {
-			return nil, fmt.Errorf("cluster: open-loop arrivals do not support Transactional consistency (transactions are closed-loop session state)")
-		}
-		if impl.P == core.Scope {
-			return nil, fmt.Errorf("cluster: open-loop arrivals do not support Scope persistency (scope barriers are closed-loop session state)")
-		}
-	}
-
+// netConfig composes the simulated-network configuration for cfg. A
+// multi-shard cluster with a distinct cross-shard round trip gets a
+// block-structured latency matrix (rack-local replica groups over a slower
+// inter-rack spine); every other shape keeps the uniform fabric.
+func (cfg Config) netConfig() simnet.Config {
 	p := cfg.Params
-	netCfg := simnet.Config{
+	nc := simnet.Config{
 		Nodes:      p.Servers,
 		OneWayLat:  p.OneWayNet(),
 		Jitter:     p.NetJitter,
@@ -316,12 +321,85 @@ func New(cfg Config) (*Cluster, error) {
 		Seed:       cfg.Seed,
 		NoFastPath: cfg.NoNICFastPath,
 	}
-	useLP := cfg.useLP()
-	if useLP {
-		if err := netCfg.ValidateLP(); err != nil {
-			return nil, fmt.Errorf("cluster: IntraParallel=%d: %w", cfg.IntraParallel, err)
+	if cfg.Shards > 1 && p.CrossShardRT != 0 {
+		nc.PairLat = simnet.BlockPairLat(p.Servers, p.Servers/cfg.Shards,
+			p.OneWayNet(), p.CrossShardOneWay())
+	}
+	return nc
+}
+
+// Validate reports the first configuration error: parameter ranges, the
+// engine name, model/topology compatibility, and the composed network
+// configuration (simnet.Config.Validate / ValidateLP). New runs it, so
+// every topology knob fails through this one path with one message style;
+// sweep builders can also check cells up front.
+func (cfg Config) Validate() error {
+	cfg = cfg.withDefaults()
+	if err := cfg.Params.Validate(); err != nil {
+		return err
+	}
+	if _, err := engines.New(cfg.Engine); err != nil {
+		return err
+	}
+	if cfg.Params.Groups > 1 &&
+		cfg.Model.C != core.Linearizable && cfg.Model.C != core.ReadEnforcedC {
+		return fmt.Errorf("cluster: hybrid groups support Linearizable or Read-Enforced consistency, not %s", cfg.Model.C)
+	}
+	if cfg.Arrivals != nil {
+		if err := cfg.Arrivals.Validate(); err != nil {
+			return err
+		}
+		impl := core.ImplOf(cfg.Model)
+		if impl.C == core.Transactional {
+			return fmt.Errorf("cluster: open-loop arrivals do not support Transactional consistency (transactions are closed-loop session state)")
+		}
+		if impl.P == core.Scope {
+			return fmt.Errorf("cluster: open-loop arrivals do not support Scope persistency (scope barriers are closed-loop session state)")
 		}
 	}
+	p := cfg.Params
+	switch {
+	case cfg.Shards < 0:
+		return fmt.Errorf("cluster: Shards must be >= 0, got %d", cfg.Shards)
+	case cfg.Shards > p.Servers:
+		return fmt.Errorf("cluster: Shards must be <= Servers, got %d shards for %d servers", cfg.Shards, p.Servers)
+	case cfg.Shards > 1 && p.Servers%cfg.Shards != 0:
+		return fmt.Errorf("cluster: Shards must divide Servers evenly, got %d shards for %d servers", cfg.Shards, p.Servers)
+	}
+	if cfg.Shards > 1 {
+		impl := core.ImplOf(cfg.Model)
+		if impl.C == core.Transactional {
+			return fmt.Errorf("cluster: sharded clusters do not support Transactional consistency (transactions would span shards)")
+		}
+		if impl.P == core.Scope {
+			return fmt.Errorf("cluster: sharded clusters do not support Scope persistency (scope barriers would span shards)")
+		}
+		if p.Groups > 1 {
+			return fmt.Errorf("cluster: hybrid consistency groups do not combine with Shards > 1 (each shard already scopes its group)")
+		}
+	}
+	if err := cfg.netConfig().Validate(); err != nil {
+		return err
+	}
+	if cfg.useLP() {
+		if err := cfg.netConfig().ValidateLP(); err != nil {
+			return fmt.Errorf("cluster: IntraParallel=%d: %w", cfg.IntraParallel, err)
+		}
+	}
+	return nil
+}
+
+// New builds a cluster per cfg. It validates the full configuration
+// (Config.Validate) and wires the topology, protocol, and load layers.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	p := cfg.Params
+	netCfg := cfg.netConfig()
+	useLP := cfg.useLP()
 
 	c := &Cluster{Cfg: cfg}
 	var net *simnet.Network
@@ -362,6 +440,11 @@ func New(cfg Config) (*Cluster, error) {
 	// both engines build byte-identical initial states.
 	rng := sim.NewRNG(cfg.Seed ^ 0xddf0ddf0)
 
+	rf := p.Servers // replicas per shard group
+	if cfg.Shards > 0 {
+		rf = p.Servers / cfg.Shards
+		c.ring = newRing(cfg.Shards, rf)
+	}
 	for i := 0; i < p.Servers; i++ {
 		eng := c.nodes[i].eng
 		vol, _ := engines.New(cfg.Engine)
@@ -370,6 +453,11 @@ func New(cfg Config) (*Cluster, error) {
 		workers := sim.NewPool(eng, p.WorkersPerServer)
 		c.Devices = append(c.Devices, dev)
 		c.Workers = append(c.Workers, workers)
+		var member protocol.Membership
+		if cfg.Shards > 0 {
+			base := (i / rf) * rf
+			member = protocol.Membership{Base: base, Size: rf, Rank: i - base}
+		}
 		c.Replicas = append(c.Replicas, protocol.NewReplica(i, protocol.Deps{
 			Eng:        eng,
 			P:          p,
@@ -380,9 +468,27 @@ func New(cfg Config) (*Cluster, error) {
 			Workers:    workers,
 			Vol:        vol,
 			Img:        img,
+			Member:     member,
 			Trace:      tracer,
 			AtomicRefs: useLP,
 		}))
+	}
+	if c.ring != nil {
+		// Client routers share each node's NIC with protocol traffic: a
+		// per-node demultiplexer replaces the handler NewReplica registered,
+		// splitting on the routing kinds' dedicated range.
+		for i := 0; i < p.Servers; i++ {
+			rt := newRouter(c, c.ring, c.nodes[i], c.Replicas[i], net, c.Workers[i], i)
+			c.routers = append(c.routers, rt)
+			rep := c.Replicas[i]
+			net.Register(i, func(m simnet.Message) {
+				if m.Kind >= kindRouteReq {
+					rt.onMessage(m)
+				} else {
+					rep.HandleNetMessage(m)
+				}
+			})
+		}
 	}
 
 	if cfg.Arrivals != nil {
@@ -398,10 +504,14 @@ func New(cfg Config) (*Cluster, error) {
 			if err != nil {
 				return nil, err
 			}
-			c.Sources = append(c.Sources, &openSource{
+			src := &openSource{
 				cl: c, ns: c.nodes[n], node: c.Replicas[n],
 				gen: gen, kc: kc, arr: arr, rng: rng.Fork(),
-			})
+			}
+			if c.ring != nil {
+				src.rt = c.routers[n]
+			}
+			c.Sources = append(c.Sources, src)
 		}
 		return c, nil
 	}
@@ -413,7 +523,11 @@ func New(cfg Config) (*Cluster, error) {
 		for k := 0; k < p.ClientsPerServer; k++ {
 			kc := ycsb.NewZipfian(p.Keys, p.ZipfTheta)
 			gen := ycsb.NewGenerator(cfg.Workload, kc, rng.Fork())
-			c.Clients = append(c.Clients, newClient(id, c, c.nodes[n], c.Replicas[n], gen, rng.Fork()))
+			cl := newClient(id, c, c.nodes[n], c.Replicas[n], gen, rng.Fork())
+			if c.ring != nil {
+				cl.rt = c.routers[n]
+			}
+			c.Clients = append(c.Clients, cl)
 			id++
 		}
 	}
@@ -498,6 +612,13 @@ func (c *Cluster) Collect(window int64, wall time.Duration) *Result {
 	}
 	if res.Protocol.BufferPeak > res.BufferPeak {
 		res.BufferPeak = res.Protocol.BufferPeak
+	}
+	if c.ring != nil {
+		res.ShardOps = make([]uint64, c.ring.shards)
+		for _, rt := range c.routers {
+			res.Routed += rt.fwdOps
+			res.ShardOps[rt.shard] += rt.localOps + rt.execOps
+		}
 	}
 	n := float64(len(c.Replicas))
 	res.NVMMeanWaitNs /= n

@@ -23,6 +23,7 @@ type openSource struct {
 	cl   *Cluster
 	ns   *nodeState
 	node *protocol.Replica
+	rt   *router // per-op shard routing; nil on unsharded clusters
 	gen  *ycsb.Generator
 	kc   *ycsb.Zipfian
 	arr  *ycsb.Arrivals
@@ -124,6 +125,20 @@ func (o *openSource) issue(now int64) {
 	s.key = op.Key
 	s.kind = op.Kind
 	s.intended = now
+	if rt := o.rt; rt != nil {
+		// Sharded cluster: route to the shard owning the key.
+		switch op.Kind {
+		case ycsb.OpScan:
+			rt.scan(op.Key, op.ScanLen, s.onScan)
+		case ycsb.OpRMW:
+			rt.rmw(op.Key, 0, s.onStamp)
+		case ycsb.OpRead:
+			rt.read(op.Key, s.onStamp)
+		default:
+			rt.write(op.Key, 0, s.onStamp)
+		}
+		return
+	}
 	switch op.Kind {
 	case ycsb.OpScan:
 		o.node.ClientScan(op.Key, op.ScanLen, s.onScan)

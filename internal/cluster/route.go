@@ -1,0 +1,284 @@
+package cluster
+
+import (
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// route.go is the per-node client router of a sharded cluster
+// (Config.Shards >= 1). Every client operation consults the consistent-hash
+// ring: a key owned by the issuing node's own shard executes on the local
+// replica exactly as in the unsharded cluster, and a key owned elsewhere is
+// forwarded over simnet to a coordinator inside the owning shard, which runs
+// the operation on its replica group and sends the result back.
+//
+// Forwarding rides the simulated network on two dedicated message kinds that
+// share each node's NIC with protocol traffic; a per-node demultiplexer
+// (cluster.New) splits them. Because the request, its execution, and its
+// response are all ordinary simnet messages and engine events, routing
+// inherits the network's canonical ingress order and stays byte-identical
+// across the sequential and LP engines at any worker count.
+//
+// The hot path allocates nothing in steady state: an op's state rides a
+// routedOp record recycled through the origin node's freelist, with its
+// completion closures bound once at construction. The record itself is the
+// network payload (pointer boxing is allocation-free) and ownership
+// transfers with delivery — origin fills the request fields, the executor
+// reads them and writes the result, the origin reads the result and recycles
+// the record — so each field is only ever touched by the LP that currently
+// holds the record, with the epoch barrier ordering the hand-offs.
+
+// Routing message kinds, continuing protocol's kind numbering so per-kind
+// network accounting keeps one flat table.
+const (
+	kindRouteReq  = int(protocol.MsgABORTX) + 1
+	kindRouteResp = kindRouteReq + 1
+)
+
+// Routed op kinds.
+const (
+	routeRead = iota
+	routeWrite
+	routeRMW
+	routeScan
+)
+
+// routedOp carries one forwarded operation origin → executor → origin.
+type routedOp struct {
+	rt      *router // router currently holding the record (set on each hop)
+	kind    uint8
+	key     uint64
+	scanLen int
+	origin  int32 // global node ID to send the response to
+
+	stamp protocol.Stamp // result (read/write/rmw)
+	count int            // result (scan)
+
+	done     func(protocol.Stamp) // origin-side completion (read/write/rmw)
+	doneScan func(int)            // origin-side completion (scan)
+
+	next *routedOp // origin freelist link
+
+	onStamp func(protocol.Stamp) // bound once: executor-side replica completion
+	onScan  func(int)
+}
+
+// The two worker-pool jobs a routedOp schedules, as typed-event arguments.
+const (
+	routeExec = iota // executor side: run the operation on the local replica
+	routeDone        // origin side: deliver the result to the client
+)
+
+// OnEvent runs after the routing message's handling cost has been charged to
+// a worker. It implements sim.Handler so both hops dispatch closure-free.
+func (op *routedOp) OnEvent(arg uint64) {
+	if arg == routeExec {
+		op.exec()
+		return
+	}
+	op.complete()
+}
+
+// exec runs the forwarded operation on the executing node's replica. The
+// replica's own client path charges coordinator compute and worker
+// occupancy, exactly as a locally issued op would.
+func (op *routedOp) exec() {
+	rt := op.rt
+	if rt.ns.measuring {
+		rt.execOps++
+	}
+	switch op.kind {
+	case routeScan:
+		rt.rep.ClientScan(op.key, op.scanLen, op.onScan)
+	case routeRMW:
+		rt.rep.ClientRMW(op.key, 0, 0, op.onStamp)
+	case routeRead:
+		rt.rep.ClientRead(op.key, 0, op.onStamp)
+	default:
+		rt.rep.ClientWrite(op.key, 0, 0, op.onStamp)
+	}
+}
+
+// respond sends the completed operation's result back to its origin node.
+func (op *routedOp) respond() {
+	rt := op.rt
+	size := rt.cl.Cfg.Params.MsgHeaderSize
+	if op.kind == routeRead || op.kind == routeScan {
+		size += rt.cl.Cfg.Params.ValueSize // the value rides the response
+	}
+	rt.net.Send(simnet.Message{
+		From:    rt.node,
+		To:      int(op.origin),
+		Size:    size,
+		Kind:    kindRouteResp,
+		Payload: op,
+	})
+}
+
+// complete delivers the result to the waiting client callback and recycles
+// the record into the origin's freelist (where it was allocated, so pools
+// stay balanced without cross-LP traffic).
+func (op *routedOp) complete() {
+	rt := op.rt
+	stamp, count := op.stamp, op.count
+	done, doneScan := op.done, op.doneScan
+	op.done, op.doneScan = nil, nil
+	op.next = rt.free
+	rt.free = op
+	if doneScan != nil {
+		doneScan(count)
+		return
+	}
+	done(stamp)
+}
+
+// router is one node's view of the sharded keyspace: the shared ring plus
+// this node's forwarding state.
+type router struct {
+	cl    *Cluster
+	ring  *ring
+	ns    *nodeState
+	rep   *protocol.Replica
+	net   *simnet.Network
+	work  *sim.Pool
+	node  int // global node ID
+	shard int // the shard this node belongs to
+
+	free *routedOp
+
+	// Operation accounting over the measurement window.
+	localOps uint64 // ops whose key this node's own shard owns
+	fwdOps   uint64 // ops forwarded to a remote shard
+	execOps  uint64 // remote-origin ops executed here
+}
+
+func newRouter(cl *Cluster, rg *ring, ns *nodeState, rep *protocol.Replica, net *simnet.Network, work *sim.Pool, node int) *router {
+	return &router{
+		cl: cl, ring: rg, ns: ns, rep: rep, net: net, work: work,
+		node: node, shard: rg.shardOf(node),
+	}
+}
+
+func (rt *router) getOp() *routedOp {
+	if op := rt.free; op != nil {
+		rt.free = op.next
+		return op
+	}
+	op := &routedOp{}
+	op.onStamp = func(st protocol.Stamp) {
+		op.stamp = st
+		op.respond()
+	}
+	op.onScan = func(n int) {
+		op.count = n
+		op.respond()
+	}
+	return op
+}
+
+// prewarm fills the freelist so the first n concurrent forwarded ops
+// allocate nothing (the zero-alloc guards pin this).
+func (rt *router) prewarm(n int) {
+	for i := 0; i < n; i++ {
+		op := rt.getOp()
+		op.next = rt.free
+		rt.free = op
+	}
+}
+
+// forward ships one operation to the owning shard's coordinator for key.
+func (rt *router) forward(kind uint8, key uint64, scanLen, to int, done func(protocol.Stamp), doneScan func(int)) {
+	if rt.ns.measuring {
+		rt.fwdOps++
+	}
+	op := rt.getOp()
+	op.rt = rt
+	op.kind = kind
+	op.key = key
+	op.scanLen = scanLen
+	op.origin = int32(rt.node)
+	op.stamp = 0
+	op.count = 0
+	op.done = done
+	op.doneScan = doneScan
+	size := rt.cl.Cfg.Params.MsgHeaderSize + 16 // key + op metadata
+	if kind == routeWrite || kind == routeRMW {
+		size += rt.cl.Cfg.Params.ValueSize // the new value rides the request
+	}
+	rt.net.Send(simnet.Message{
+		From:    rt.node,
+		To:      to,
+		Size:    size,
+		Kind:    kindRouteReq,
+		Payload: op,
+	})
+}
+
+// onMessage receives a routing message at this node — a request to execute
+// (on the executor) or a completed result (back at the origin). Either way
+// the handling cost is charged to a worker, mirroring protocol messages.
+func (rt *router) onMessage(m simnet.Message) {
+	op := m.Payload.(*routedOp)
+	op.rt = rt
+	arg := uint64(routeExec)
+	if m.Kind == kindRouteResp {
+		arg = routeDone
+	}
+	rt.work.AcquireEvent(rt.cl.Cfg.Params.MessageHandle, op, arg)
+}
+
+// read routes one client read issued at this node.
+func (rt *router) read(key uint64, done func(protocol.Stamp)) {
+	shard, to := rt.ring.route(key)
+	if shard == rt.shard {
+		if rt.ns.measuring {
+			rt.localOps++
+		}
+		rt.rep.ClientRead(key, 0, done)
+		return
+	}
+	rt.forward(routeRead, key, 0, to, done, nil)
+}
+
+// write routes one client write. scope is nonzero only under Scope
+// persistency, which a multi-shard cluster rejects — so forwarded writes
+// never carry one.
+func (rt *router) write(key uint64, scope uint64, done func(protocol.Stamp)) {
+	shard, to := rt.ring.route(key)
+	if shard == rt.shard {
+		if rt.ns.measuring {
+			rt.localOps++
+		}
+		rt.rep.ClientWrite(key, scope, 0, done)
+		return
+	}
+	rt.forward(routeWrite, key, 0, to, done, nil)
+}
+
+// rmw routes one client read-modify-write.
+func (rt *router) rmw(key uint64, scope uint64, done func(protocol.Stamp)) {
+	shard, to := rt.ring.route(key)
+	if shard == rt.shard {
+		if rt.ns.measuring {
+			rt.localOps++
+		}
+		rt.rep.ClientRMW(key, scope, 0, done)
+		return
+	}
+	rt.forward(routeRMW, key, 0, to, done, nil)
+}
+
+// scan routes one client scan. A scan runs entirely in the shard owning its
+// start key (each shard's replica group holds that shard's keys).
+func (rt *router) scan(key uint64, maxLen int, done func(int)) {
+	shard, to := rt.ring.route(key)
+	if shard == rt.shard {
+		if rt.ns.measuring {
+			rt.localOps++
+		}
+		rt.rep.ClientScan(key, maxLen, done)
+		return
+	}
+	rt.forward(routeScan, key, maxLen, to, nil, done)
+}

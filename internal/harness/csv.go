@@ -6,6 +6,7 @@ import (
 	"io"
 	"strconv"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 )
 
@@ -143,8 +144,53 @@ func (r *CapacityResult) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// WriteCSV emits the scaling study as tidy rows: one line per cell, tagged
+// with its phase (scale or skew) and the full topology shape.
+func (r *ScalingResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"consistency", "persistency", "phase", "shards", "nodes", "rf", "theta",
+		"throughput_ops", "p95_read_ns", "p95_write_ns",
+		"routed_frac", "shard_imbalance",
+	}); err != nil {
+		return err
+	}
+	row := func(m core.Model, phase string, shards int, theta float64, res *cluster.Result) error {
+		s := res.Summary
+		var total uint64
+		for _, n := range res.ShardOps {
+			total += n
+		}
+		return cw.Write([]string{
+			m.C.String(), m.P.String(), phase,
+			strconv.Itoa(shards), strconv.Itoa(shards * r.RF), strconv.Itoa(r.RF),
+			strconv.FormatFloat(theta, 'g', -1, 64),
+			strconv.FormatFloat(s.Throughput, 'g', -1, 64),
+			strconv.FormatInt(s.P95Read, 10), strconv.FormatInt(s.P95Write, 10),
+			strconv.FormatFloat(ratio(float64(res.Routed), float64(total)), 'g', -1, 64),
+			strconv.FormatFloat(shardImbalance(res), 'g', -1, 64),
+		})
+	}
+	for _, c := range r.Curves {
+		for j := range c.Points {
+			p := &c.Points[j]
+			if err := row(c.Model, "scale", p.Shards, p.Res.Config.Params.ZipfTheta, p.Res); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range r.Skew {
+		sp := &r.Skew[i]
+		if err := row(sp.Model, "skew", r.SkewShards, sp.Theta, sp.Res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RunNamedCSV runs a CSV-capable experiment and writes tidy rows to w.
-// Supported: fig6, fig7, fig8, fig9, durability, capacity.
+// Supported: fig6, fig7, fig8, fig9, durability, capacity, scaling.
 func RunNamedCSV(w io.Writer, name string, o Options) error {
 	switch name {
 	case "fig6":
@@ -183,7 +229,13 @@ func RunNamedCSV(w io.Writer, name string, o Options) error {
 			return err
 		}
 		return c.WriteCSV(w)
+	case "scaling":
+		s, err := Scaling(o)
+		if err != nil {
+			return err
+		}
+		return s.WriteCSV(w)
 	default:
-		return fmt.Errorf("experiment %q has no CSV form (use fig6/fig7/fig8/fig9/durability/capacity)", name)
+		return fmt.Errorf("experiment %q has no CSV form (use fig6/fig7/fig8/fig9/durability/capacity/scaling)", name)
 	}
 }

@@ -68,6 +68,44 @@ func TestGolden5x5ByteIdentical(t *testing.T) {
 	}
 }
 
+// TestGolden5x5Shard1ByteIdentical reruns the full 5x5 fixture with the
+// sharded topology layer engaged over a single all-servers shard
+// (Options.Shards = 1): the consistent-hash ring, per-node routers, NIC
+// demultiplexers, and group-relative membership must not move a single
+// event in any of the 25 models versus the pre-refactor fixture.
+func TestGolden5x5Shard1ByteIdentical(t *testing.T) {
+	if *updateGolden {
+		t.Skip("fixture is owned by the unsharded golden test")
+	}
+	o := DefaultOptions().Quick()
+	o.Parallel = 4
+	o.Shards = 1
+
+	var buf bytes.Buffer
+	f, err := Figure6(o)
+	if err != nil {
+		t.Fatalf("Figure6: %v", err)
+	}
+	f.WriteText(&buf)
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	t1, err := Table1(o)
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	t1.WriteText(&buf)
+
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_5x5.txt"))
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("shards=1 5x5 output diverged from the golden fixture (%d bytes vs %d).\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Len(), len(want), buf.Bytes(), want)
+	}
+}
+
 // TestGolden5x5LPByteIdentical reruns the full 5x5 fixture with four
 // logical-process workers per cell: the LP engine must reproduce the
 // sequential engine's rendering byte-for-byte, end to end through the

@@ -62,6 +62,13 @@ type Options struct {
 	// is a free variable. Nil — the default — keeps the paper's closed-loop
 	// clients. The capacity experiment sets this per cell.
 	Arrivals *ycsb.ArrivalSpec
+
+	// Shards partitions the keyspace across Params.Servers/Shards-node
+	// replica groups behind the consistent-hash ring
+	// (cluster.Config.Shards): 0 keeps the paper's flat replica group. Set
+	// by ddpbench's -shards/-nodes/-rf flags; the scaling experiment sweeps
+	// it per cell.
+	Shards int
 }
 
 // DefaultOptions returns the paper's evaluation configuration.
@@ -95,6 +102,7 @@ func (o Options) config(m core.Model, w ycsb.Workload) cluster.Config {
 		WarmupNs:  o.WarmupNs,
 		MeasureNs: o.MeasureNs,
 		Arrivals:  o.Arrivals,
+		Shards:    o.Shards,
 	}
 }
 
@@ -123,6 +131,19 @@ func progressLine(w io.Writer, m core.Model, wl ycsb.Workload, r *cluster.Result
 	if lp := r.LP; lp.Workers > 1 {
 		fmt.Fprintf(w, "      lp workers %d  lps %d  lookahead %dns  epochs %d  mail %d\n",
 			lp.Workers, lp.LPs, lp.Lookahead, lp.Epochs, lp.Mail)
+	}
+	if shards := r.Config.Shards; shards > 0 {
+		var total uint64
+		for _, n := range r.ShardOps {
+			total += n
+		}
+		routedPct := float64(0)
+		if total > 0 {
+			routedPct = 100 * float64(r.Routed) / float64(total)
+		}
+		fmt.Fprintf(w, "      shards %d  nodes %d  rf %d  routed %5.1f%%  shard imbalance %.2fx\n",
+			shards, r.Config.Params.Servers, r.Config.Params.Servers/shards,
+			routedPct, shardImbalance(r))
 	}
 }
 

@@ -96,13 +96,20 @@ func RunNamed(w io.Writer, name string, o Options) error {
 			return err
 		}
 		c.WriteText(w)
+	case "scaling":
+		s, err := Scaling(o)
+		if err != nil {
+			return err
+		}
+		s.WriteText(w)
 	case "models":
 		WriteModelReference(w)
 	case "bindings":
 		WriteBindings(w)
 	case "all":
-		// capacity is excluded: its open-loop sweep runs 36 cells and is a
-		// study of its own rather than part of the paper reproduction.
+		// capacity and scaling are excluded: their sweeps (36 open-loop
+		// cells; up-to-160-node sharded grids) are studies of their own
+		// rather than part of the paper reproduction.
 		for _, e := range []string{"table1", "table5", "fig6", "fig7", "fig8", "fig9", "stats", "table4", "durability", "ablation", "recovery", "timelines", "hybrid", "checker", "models"} {
 			if err := RunNamed(w, e, o); err != nil {
 				return fmt.Errorf("%s: %w", e, err)

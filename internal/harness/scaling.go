@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ycsb"
+)
+
+// scaling.go runs the sharded scale-out study (ROADMAP item 1): simulated
+// throughput versus cluster size for the four corner DDP models, sweeping
+// the shard count over scalingShards with a fixed per-shard replication
+// factor, plus a hot-shard scenario contrasting a uniform keyspace against
+// a heavily skewed zipfian one at the widest sharded point.
+
+// scalingShards are the shard counts the curve sweeps. The replication
+// factor is Options.Params.Servers (each shard is a paper-sized replica
+// group), so the default 5-server configuration sweeps 5..160 simulated
+// nodes and the shards=1 point is exactly the paper's cluster.
+func scalingShards() []int { return []int{1, 4, 16, 32} }
+
+// scalingSkewShards is the shard count of the hot-shard study.
+const scalingSkewShards = 16
+
+// scalingSkewTheta contrasts a uniform keyspace (0) against heavy zipfian
+// skew on the same cluster.
+var scalingSkewTheta = []float64{0, 0.999}
+
+// ScalingPoint is one (model, shard count) closed-loop cell.
+type ScalingPoint struct {
+	Shards int
+	Nodes  int
+	Res    *cluster.Result
+}
+
+// RoutedFrac returns the fraction of routed ops forwarded across shards.
+func (p *ScalingPoint) RoutedFrac() float64 {
+	var total uint64
+	for _, n := range p.Res.ShardOps {
+		total += n
+	}
+	return ratio(float64(p.Res.Routed), float64(total))
+}
+
+// ScalingCurve is one model's throughput-vs-cluster-size curve, in
+// scalingShards order.
+type ScalingCurve struct {
+	Model  core.Model
+	Points []ScalingPoint
+}
+
+// SkewPoint is one hot-shard cell: a model run at scalingSkewShards shards
+// under the given zipfian theta.
+type SkewPoint struct {
+	Model core.Model
+	Theta float64
+	Res   *cluster.Result
+}
+
+// ScalingResult holds the full experiment.
+type ScalingResult struct {
+	RF         int // replicas per shard (nodes = RF x shards)
+	Curves     []*ScalingCurve
+	SkewShards int
+	Skew       []SkewPoint // models x scalingSkewTheta, theta-major per model
+}
+
+// shardImbalance returns max/mean of per-shard executed ops (1 = perfectly
+// balanced; 0 when the run recorded no shard accounting).
+func shardImbalance(r *cluster.Result) float64 {
+	if len(r.ShardOps) == 0 {
+		return 0
+	}
+	var total, max uint64
+	for _, n := range r.ShardOps {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(r.ShardOps)) / float64(total)
+}
+
+// Scaling runs the scale-out grid: for each corner model and shard count it
+// simulates a cluster of shards x RF nodes behind the consistent-hash
+// routing layer, then replays the widest sharded configuration under
+// uniform and heavily skewed key popularity for the hot-shard contrast.
+func Scaling(o Options) (*ScalingResult, error) {
+	rf := o.Params.Servers
+	if o.Shards > 1 {
+		rf = o.Params.Servers / o.Shards
+	}
+	models := capacityModels()
+
+	res := &ScalingResult{RF: rf, SkewShards: scalingSkewShards}
+	var cells []cell
+	for _, m := range models {
+		curve := &ScalingCurve{Model: m}
+		for _, s := range scalingShards() {
+			oo := o
+			oo.Shards = s
+			oo.Params.Servers = s * rf
+			curve.Points = append(curve.Points, ScalingPoint{Shards: s, Nodes: s * rf})
+			cells = append(cells, cell{oo, m, ycsb.WorkloadA})
+		}
+		res.Curves = append(res.Curves, curve)
+	}
+	for _, m := range models {
+		for _, theta := range scalingSkewTheta {
+			oo := o
+			oo.Shards = scalingSkewShards
+			oo.Params.Servers = scalingSkewShards * rf
+			oo.Params.ZipfTheta = theta
+			res.Skew = append(res.Skew, SkewPoint{Model: m, Theta: theta})
+			cells = append(cells, cell{oo, m, ycsb.WorkloadA})
+		}
+	}
+
+	rs, err := runCells(o, cells)
+	if err != nil {
+		return nil, fmt.Errorf("scaling sweep: %w", err)
+	}
+	idx := 0
+	for _, c := range res.Curves {
+		for j := range c.Points {
+			c.Points[j].Res = rs[idx]
+			idx++
+		}
+	}
+	for i := range res.Skew {
+		res.Skew[i].Res = rs[idx]
+		idx++
+	}
+	return res, nil
+}
+
+// WriteText renders one scaling table per model — throughput against
+// cluster size with per-point speedup over the single-shard group, routed
+// fraction, and wall-clock cost — then the hot-shard contrast.
+func (r *ScalingResult) WriteText(w io.Writer) {
+	header(w, "Scaling: simulated throughput vs cluster size (closed loop, YCSB-A)",
+		fmt.Sprintf("Each shard is an independent %d-replica group behind a consistent-hash ring; clients route per-op to the owning shard.", r.RF))
+	for _, c := range r.Curves {
+		fmt.Fprintf(w, "\n%s\n", c.Model)
+		fmt.Fprintf(w, "  %6s %6s %12s %8s %8s %9s %9s %10s\n",
+			"shards", "nodes", "Mops/s", "speedup", "routed", "p95 rd", "p95 wr", "wall")
+		base := float64(0)
+		if len(c.Points) > 0 {
+			base = c.Points[0].Res.Summary.Throughput
+		}
+		for j := range c.Points {
+			p := &c.Points[j]
+			s := p.Res.Summary
+			fmt.Fprintf(w, "  %6d %6d %12.2f %7.2fx %7.1f%% %9d %9d %10v\n",
+				p.Shards, p.Nodes, s.Throughput/1e6, ratio(s.Throughput, base),
+				100*p.RoutedFrac(), s.P95Read, s.P95Write,
+				p.Res.WallTime.Round(time.Millisecond))
+		}
+	}
+	fmt.Fprintf(w, "\nHot-shard skew at %d shards (zipfian theta, same cluster):\n", r.SkewShards)
+	fmt.Fprintf(w, "  %-34s %6s %12s %10s %12s\n",
+		"model", "theta", "Mops/s", "imbalance", "hottest")
+	for i := range r.Skew {
+		sp := &r.Skew[i]
+		var total, max uint64
+		for _, n := range sp.Res.ShardOps {
+			total += n
+			if n > max {
+				max = n
+			}
+		}
+		fmt.Fprintf(w, "  %-34s %6.3f %12.2f %9.2fx %11.1f%%\n",
+			sp.Model, sp.Theta, sp.Res.Summary.Throughput/1e6,
+			shardImbalance(sp.Res), 100*ratio(float64(max), float64(total)))
+	}
+	fmt.Fprintln(w, "  imbalance = max/mean ops per shard; hottest = busiest shard's share of all executed ops.")
+}

@@ -14,6 +14,25 @@ import (
 	"repro/internal/vclock"
 )
 
+// Membership describes the replica group a replica belongs to: a contiguous
+// block of global simnet node IDs [Base, Base+Size), with this replica at
+// position Rank within the block. Every protocol-level node reference —
+// stamps, vector clocks, ACK targets, hybrid sub-groups, propagation rings —
+// is a rank in [0, Size); only the network boundary (send/receive) translates
+// between ranks and global node IDs. The zero value denotes the paper's flat
+// cluster: one group spanning all P.Servers nodes, where rank == global ID.
+type Membership struct {
+	Base int // first global node ID of the group
+	Size int // replicas in the group
+	Rank int // this replica's rank within the group
+}
+
+// global returns the global node ID of the group member at rank.
+func (m Membership) global(rank int) int { return m.Base + rank }
+
+// rankOf returns the group rank of a global node ID.
+func (m Membership) rankOf(node int) int { return node - m.Base }
+
 // Deps bundles everything a Replica needs from its node.
 type Deps struct {
 	Eng     *sim.Engine
@@ -25,6 +44,13 @@ type Deps struct {
 	Workers *sim.Pool
 	Vol     engines.Engine // volatile store image
 	Img     engines.Engine // NVM store image (what survives a crash)
+
+	// Member is the replica group this replica runs its protocol over. The
+	// zero value means the flat paper cluster: all P.Servers nodes form one
+	// group and the replica's rank is its global node ID. Sharded clusters
+	// pass one group per shard so broadcasts, acknowledgment counts, and
+	// causal vector clocks stay group-scoped.
+	Member Membership
 
 	// Trace, when non-nil, receives a description of every protocol action
 	// at this replica (see internal/trace). Nil disables tracing.
@@ -116,8 +142,10 @@ type bufferedUpd struct {
 // Replica is one node's protocol engine. It acts as coordinator for requests
 // submitted locally and as follower for everything else.
 type Replica struct {
-	id    int
-	eng   *sim.Engine
+	id     int        // rank within the replica group (protocol identity)
+	gid    int        // global simnet node ID (network identity)
+	member Membership // the replica group this node runs its protocol over
+	eng    *sim.Engine
 	p     params.Params
 	model core.Model
 	vis   VisibilityPolicy // consistency dimension, resolved at construction
@@ -211,11 +239,23 @@ type dispatchRec struct {
 	p    payload
 }
 
-// NewReplica builds the protocol engine for node id and registers its
-// network handler.
+// NewReplica builds the protocol engine for global node id and registers its
+// network handler. With a zero Deps.Member the replica joins the flat
+// all-servers group (rank == id); otherwise id must be the global node ID at
+// d.Member's base+rank.
 func NewReplica(id int, d Deps) *Replica {
+	mem := d.Member
+	if mem.Size == 0 {
+		mem = Membership{Base: 0, Size: d.P.Servers, Rank: id}
+	}
+	if mem.global(mem.Rank) != id {
+		panic(fmt.Sprintf("protocol: node %d is not rank %d of group [%d,%d)",
+			id, mem.Rank, mem.Base, mem.Base+mem.Size))
+	}
 	r := &Replica{
-		id:           id,
+		id:           mem.Rank,
+		gid:          id,
+		member:       mem,
 		eng:          d.Eng,
 		p:            d.P,
 		model:        d.Model,
@@ -227,8 +267,8 @@ func NewReplica(id int, d Deps) *Replica {
 		img:          d.Img,
 		keys:         make([]keyState, d.P.Keys),
 		pending:      make(map[Stamp]*pendingWrite),
-		appliedVC:    vclock.New(d.P.Servers),
-		waiting:      make([]map[uint64][]bufferedUpd, d.P.Servers),
+		appliedVC:    vclock.New(mem.Size),
+		waiting:      make([]map[uint64][]bufferedUpd, mem.Size),
 		txns:         make(map[uint64]*txnState),
 		scopePending: make(map[uint64][]persistItem),
 		scopeClosed:  make(map[uint64]bool),
@@ -251,11 +291,14 @@ func (r *Replica) trace(format string, args ...interface{}) {
 	if r.tracer == nil {
 		return
 	}
-	r.tracer(r.id, fmt.Sprintf(format, args...))
+	r.tracer(r.gid, fmt.Sprintf(format, args...))
 }
 
-// ID returns the replica's node id.
-func (r *Replica) ID() int { return r.id }
+// ID returns the replica's global node id.
+func (r *Replica) ID() int { return r.gid }
+
+// Member returns the replica group this node belongs to.
+func (r *Replica) Member() Membership { return r.member }
 
 // Model returns the DDP model this replica runs.
 func (r *Replica) Model() core.Model { return r.model }
@@ -295,31 +338,33 @@ func (r *Replica) followers() int {
 	return r.groupSize() - 1
 }
 
-// groupSize returns the number of nodes in this replica's hybrid group.
+// groupSize returns the number of nodes in this replica's hybrid group
+// (its whole replica group when hybrid consistency is off).
 func (r *Replica) groupSize() int {
 	if r.p.Groups <= 1 {
-		return r.p.Servers
+		return r.member.Size
 	}
-	return r.p.Servers / r.p.Groups
+	return r.member.Size / r.p.Groups
 }
 
-// sameGroup reports whether node shares this replica's hybrid group.
+// sameGroup reports whether the replica at rank node shares this replica's
+// hybrid group.
 func (r *Replica) sameGroup(node int) bool {
 	if r.p.Groups <= 1 {
 		return true
 	}
-	g := r.p.Servers / r.p.Groups
+	g := r.member.Size / r.p.Groups
 	return node/g == r.id/g
 }
 
-// send transmits one protocol message.
+// send transmits one protocol message to the group member at rank to.
 func (r *Replica) send(to int, p payload) {
 	if r.tracer != nil {
-		r.trace("%s -> node %d", p.Kind, to)
+		r.trace("%s -> node %d", p.Kind, r.member.global(to))
 	}
 	r.net.Send(simnet.Message{
-		From:    r.id,
-		To:      to,
+		From:    r.gid,
+		To:      r.member.global(to),
 		Size:    r.wireSize(p),
 		Kind:    int(p.Kind),
 		Payload: r.boxPayload(p),
@@ -358,27 +403,27 @@ func (r *Replica) forwardChain(p payload) {
 }
 
 // broadcast transmits p to every follower in this replica's strong-
-// consistency domain (the whole cluster, or the local group under hybrid
-// consistency).
+// consistency domain (its whole replica group, or the local hybrid group
+// under hybrid consistency).
 func (r *Replica) broadcast(p payload) {
 	if r.p.Groups <= 1 {
 		if r.tracer != nil {
 			r.trace("%s -> all", p.Kind)
 		}
-		// One boxed payload serves every copy: Broadcast shares the pointer,
-		// and the box's refcount lets the last receiver recycle it.
-		r.net.Broadcast(simnet.Message{
-			From:    r.id,
+		// One boxed payload serves every copy: BroadcastRange shares the
+		// pointer, and the box's refcount lets the last receiver recycle it.
+		r.net.BroadcastRange(simnet.Message{
+			From:    r.gid,
 			Size:    r.wireSize(p),
 			Kind:    int(p.Kind),
-			Payload: r.boxShared(p, r.p.Servers-1),
-		}, -1)
+			Payload: r.boxShared(p, r.member.Size-1),
+		}, r.member.Base, r.member.Size, -1)
 		return
 	}
 	if r.tracer != nil {
 		r.trace("%s -> group", p.Kind)
 	}
-	for to := 0; to < r.p.Servers; to++ {
+	for to := 0; to < r.member.Size; to++ {
 		if to == r.id || !r.sameGroup(to) {
 			continue
 		}
@@ -386,10 +431,10 @@ func (r *Replica) broadcast(p payload) {
 	}
 }
 
-// broadcastRemoteGroups lazily ships an update to every node outside the
-// local group (the eventual tier of a hybrid deployment).
+// broadcastRemoteGroups lazily ships an update to every group member outside
+// the local hybrid group (the eventual tier of a hybrid deployment).
 func (r *Replica) broadcastRemoteGroups(p payload) {
-	for to := 0; to < r.p.Servers; to++ {
+	for to := 0; to < r.member.Size; to++ {
 		if r.sameGroup(to) {
 			continue
 		}
@@ -397,8 +442,16 @@ func (r *Replica) broadcastRemoteGroups(p payload) {
 	}
 }
 
+// HandleNetMessage feeds a protocol message into the replica's receive path.
+// NewReplica registers the replica's handler with the network directly;
+// sharded clusters install a demultiplexer per node instead (client-routing
+// messages share each NIC with protocol traffic) and forward protocol
+// messages here.
+func (r *Replica) HandleNetMessage(m simnet.Message) { r.onMessage(m) }
+
 // onMessage is the network receive entry point: it charges a worker for the
-// handling cost, then dispatches.
+// handling cost, then dispatches. Message From/To are global node IDs; the
+// dispatch records carry the sender's group rank.
 func (r *Replica) onMessage(m simnet.Message) {
 	pp := m.Payload.(*payload)
 	// A box is spent once every message sharing it has been copied out;
@@ -426,12 +479,13 @@ func (r *Replica) onMessage(m simnet.Message) {
 	if p.Kind == MsgINV || p.Kind == MsgUPD {
 		service += r.mem.DDIOFillLatency()
 	}
+	from := int32(r.member.rankOf(m.From))
 	ni := r.dispFree
 	if ni >= 0 {
 		r.dispFree = r.disp[ni].next
-		r.disp[ni] = dispatchRec{from: int32(m.From), p: p}
+		r.disp[ni] = dispatchRec{from: from, p: p}
 	} else {
-		r.disp = append(r.disp, dispatchRec{from: int32(m.From), p: p})
+		r.disp = append(r.disp, dispatchRec{from: from, p: p})
 		ni = int32(len(r.disp) - 1)
 	}
 	r.work.AcquireEvent(service, r, uint64(ni))

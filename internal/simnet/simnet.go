@@ -544,7 +544,16 @@ func (n *Network) Nodes() int { return n.cfg.Nodes }
 
 // Broadcast sends a copy of msg from its From node to every other node.
 func (n *Network) Broadcast(msg Message, except int) {
-	for to := 0; to < n.cfg.Nodes; to++ {
+	n.BroadcastRange(msg, 0, n.cfg.Nodes, except)
+}
+
+// BroadcastRange sends a copy of msg from its From node to every node in
+// [base, base+size) except msg.From and except — the group-scoped broadcast
+// of a sharded cluster, where each replica group owns a contiguous block of
+// node IDs. Copies go out in ascending node order, exactly as Broadcast
+// sends them when the range covers the whole fabric.
+func (n *Network) BroadcastRange(msg Message, base, size, except int) {
+	for to := base; to < base+size; to++ {
 		if to == msg.From || to == except {
 			continue
 		}
@@ -552,6 +561,29 @@ func (n *Network) Broadcast(msg Message, except int) {
 		m.To = to
 		n.Send(m)
 	}
+}
+
+// BlockPairLat builds a Config.PairLat matrix for a fabric whose nodes form
+// contiguous blocks of blockSize (the per-shard replica groups): pairs within
+// a block propagate at intra ns one-way, pairs spanning blocks at cross ns —
+// rack-local replica groups over a slower inter-rack spine. Diagonal entries
+// are zero (self-sends skip propagation).
+func BlockPairLat(nodes, blockSize int, intra, cross int64) [][]int64 {
+	m := make([][]int64, nodes)
+	for i := range m {
+		row := make([]int64, nodes)
+		for j := range row {
+			switch {
+			case i == j:
+			case i/blockSize == j/blockSize:
+				row[j] = intra
+			default:
+				row[j] = cross
+			}
+		}
+		m[i] = row
+	}
+	return m
 }
 
 // relTracker counts in-flight sends per NIC for the queue-pair model: a
