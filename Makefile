@@ -19,12 +19,16 @@ test:
 # sweep runner makes every experiment concurrent, so races are first-class
 # correctness bugs here. The NIC fast-path differential, the sharded
 # differential, and the capacity/scaling smokes run explicitly on top: the
-# fast path elides events, and the sharded topology re-routes client ops
-# across replica groups, so their equivalence proofs are gate-level.
+# fast path elides events, the fan-out fusion layer elides broadcast and
+# send-time arrive hops, and the sharded topology re-routes client ops
+# across replica groups, so their equivalence proofs are gate-level. The
+# fan-out benchmark runs one iteration as a smoke against bit-rot.
 check: vet
 	$(GO) test -race ./...
 	$(GO) test -race ./internal/cluster/ -run 'TestNICFastPathDifferential|TestNICFastPathEventReduction'
+	$(GO) test -race ./internal/cluster/ -run 'TestFanoutFusionDifferential|TestFanoutFusionEventReduction'
 	$(GO) test -race ./internal/cluster/ -run 'TestSharded'
+	$(GO) test -run='^$$' -bench BenchmarkBroadcastFanout -benchtime=1x .
 	$(GO) run ./cmd/ddpbench -exp capacity -quick > /dev/null
 	$(GO) run ./cmd/ddpbench -exp scaling -quick > /dev/null
 

@@ -15,6 +15,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/params"
+	"repro/internal/sim"
+	"repro/internal/simnet"
 	"repro/internal/ycsb"
 )
 
@@ -294,6 +296,100 @@ func BenchmarkNICFastPath(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkBroadcastFanout measures fused broadcast fan-out on two
+// broadcast-heavy <Linearizable, Strict> shapes: the paper's default closed
+// loop (concurrent writers interleave arrivals, so chains break often) and
+// the write-only open-loop fig6 cell TestFanoutFusionEventReduction pins
+// (sparse isolated writes — most INV/VAL copies chain). Results are
+// byte-identical on and off (see TestFanoutFusionDifferential); only event
+// counts and wall time change. results/BENCH_fanout.json records a measured
+// before/after pair.
+func BenchmarkBroadcastFanout(b *testing.B) {
+	shapes := []struct {
+		name string
+		mut  func(*cluster.Config)
+	}{
+		{"default-5x20", func(cfg *cluster.Config) {}},
+		{"openloop-10x1-W", func(cfg *cluster.Config) {
+			cfg.Params.Servers = 10
+			cfg.Params.ClientsPerServer = 1
+			cfg.Workload = ycsb.WorkloadW
+			cfg.Arrivals = &ycsb.ArrivalSpec{RatePerSec: 1.5e5}
+		}},
+	}
+	for _, sh := range shapes {
+		base := cluster.Config{
+			Model:     core.Model{C: core.Linearizable, P: core.Strict},
+			Workload:  ycsb.WorkloadA,
+			Params:    params.Default(),
+			Seed:      1,
+			WarmupNs:  1_000_000,
+			MeasureNs: 5_000_000,
+		}
+		sh.mut(&base)
+		for _, fused := range []bool{false, true} {
+			cfg := base
+			cfg.NoFanoutFusion = !fused
+			name := sh.name + "/off"
+			if fused {
+				name = sh.name + "/on"
+			}
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					r, err := cluster.Run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(r.Events), "events")
+						b.ReportMetric(float64(r.NetFusedHops), "fusedhops")
+						b.ReportMetric(float64(r.NetChainedHops), "chainedhops")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkUnicastElision isolates the send-time arrive elision on its ideal
+// substrate: sparse unicast pings on an otherwise idle two-node fabric, where
+// every send's gap proof holds, the arrive hop runs in the sending dispatch,
+// and the rx fast path elides the deliver hop — one scheduled event per
+// message end-to-end, against three unfused. Cluster cells rarely hit this
+// corner (a busy shared engine almost always has work inside the 500ns
+// send-to-arrive window); this pins the mechanism's ceiling and its cost.
+func BenchmarkUnicastElision(b *testing.B) {
+	const msgs = 10_000
+	for _, fused := range []bool{false, true} {
+		name := "off"
+		if fused {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := sim.New()
+				n := simnet.New(e, simnet.Config{
+					Nodes: 2, OneWayLat: 500, Bandwidth: 200e9, QueuePairs: 400,
+					NoFanoutFusion: !fused,
+				})
+				n.Register(0, func(simnet.Message) {})
+				n.Register(1, func(simnet.Message) {})
+				for k := 0; k < msgs; k++ {
+					at := int64(k) * 5000
+					e.At(at, func() {
+						n.Send(simnet.Message{From: 0, To: 1, Size: 128})
+					})
+				}
+				e.RunAll()
+				if i == 0 {
+					b.ReportMetric(float64(e.Processed())/msgs, "events/msg")
+					b.ReportMetric(float64(n.ChainedHops()), "chainedhops")
+				}
+			}
+		})
 	}
 }
 

@@ -12,7 +12,8 @@
 // Performance investigation flags: -cpuprofile/-memprofile write pprof
 // profiles covering the experiment run; -eventstats prints per-cell
 // event-scheduler counters (events/sim-second, peak queue depth, timing-wheel
-// occupancy) on stderr alongside the normal progress lines, plus
+// occupancy) on stderr alongside the normal progress lines — including the
+// elided-hop split (NIC fast path, fused fan-out, send-time chaining) — plus
 // logical-process synchronizer counters (epochs, cross-LP mail) when -lps
 // engages the parallel intra-cell engine. -parallel and -lps share the core
 // budget (cells x LP workers never exceeds GOMAXPROCS); neither changes any
@@ -43,6 +44,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
 	eventstats := flag.Bool("eventstats", false, "print per-cell event-scheduler stats on stderr")
+	nofusion := flag.Bool("nofusion", false, "disable broadcast fan-out fusion and send-time delivery elision (never changes results, only event counts)")
 	flag.Parse()
 
 	o := harness.DefaultOptions()
@@ -52,6 +54,7 @@ func main() {
 	o.LPs = *lps
 	o.Progress = os.Stderr
 	o.EventStats = *eventstats
+	o.NoFanoutFusion = *nofusion
 	if *quick {
 		o = o.Quick()
 	}

@@ -86,6 +86,15 @@ type Config struct {
 	// and for before/after event accounting (results/BENCH_openloop.json).
 	NoNICFastPath bool
 
+	// NoFanoutFusion disables the network's fan-out fusion layer
+	// (simnet.Config.NoFanoutFusion): fused broadcast delivery and
+	// send-time arrive elision. Fusion is on by default (sequential engine
+	// only; the LP engine never fuses) and never changes any simulated
+	// outcome — only the event count — which TestFanoutFusionDifferential
+	// proves; this switch exists for that proof and for before/after event
+	// accounting (results/BENCH_fanout.json).
+	NoFanoutFusion bool
+
 	// TrackHistory records every acknowledged write and completed read for
 	// the recovery and intuition checkers. Costs memory; off by default.
 	TrackHistory bool
@@ -151,6 +160,8 @@ type Result struct {
 	NetMessages    uint64
 	NetBytes       uint64
 	NetFastHops    uint64 // arrivals delivered via the NIC one-hop fast path
+	NetFusedHops   uint64 // broadcast arrivals chained inline by fan-out fusion
+	NetChainedHops uint64 // unicast arrivals elided at send time (chain deferral)
 	WorkerMeanWait float64
 
 	// Scope persist barrier latency (only under Scope persistency).
@@ -320,6 +331,11 @@ func (cfg Config) netConfig() simnet.Config {
 		QueuePairs: p.QueuePairs,
 		Seed:       cfg.Seed,
 		NoFastPath: cfg.NoNICFastPath,
+		// The cluster's message-kind space is the protocol kinds plus the
+		// two routing kinds above them; sizing the per-kind counters here
+		// keeps the send hot path growth-free.
+		MaxKind:        kindRouteResp,
+		NoFanoutFusion: cfg.NoFanoutFusion,
 	}
 	if cfg.Shards > 1 && p.CrossShardRT != 0 {
 		nc.PairLat = simnet.BlockPairLat(p.Servers, p.Servers/cfg.Shards,
@@ -626,6 +642,8 @@ func (c *Cluster) Collect(window int64, wall time.Duration) *Result {
 	res.NetMessages = c.Net.Messages()
 	res.NetBytes = c.Net.Bytes()
 	res.NetFastHops = c.Net.FastDeliveries()
+	res.NetFusedHops = c.Net.FusedHops()
+	res.NetChainedHops = c.Net.ChainedHops()
 	return res
 }
 

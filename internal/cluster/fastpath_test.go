@@ -107,6 +107,11 @@ func TestNICFastPathDifferential(t *testing.T) {
 		label := fmt.Sprintf("seed=%d %s %s s=%d lps=%d",
 			cfg.Seed, m, cfg.Workload.Name, cfg.Params.Servers, cfg.IntraParallel)
 
+		// Fusion off in both runs: its elisions depend on the pending-event
+		// set, which the fast path itself changes, so leaving it on would
+		// blur this test's on/off event accounting. The combined layers are
+		// proven in fusion_test.go.
+		cfg.NoFanoutFusion = true
 		slowCfg := cfg
 		slowCfg.NoNICFastPath = true
 		slow, err := Run(slowCfg)
@@ -145,6 +150,7 @@ func TestNICFastPathEventReduction(t *testing.T) {
 	cfg.Params.ClientsPerServer = 1
 	cfg.WarmupNs = 200_000
 	cfg.MeasureNs = 2_000_000
+	cfg.NoFanoutFusion = true // isolate the fast path; see the differential
 
 	slowCfg := cfg
 	slowCfg.NoNICFastPath = true

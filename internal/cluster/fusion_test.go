@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ycsb"
+)
+
+// TestFanoutFusionDifferential is the cluster-level half of the fan-out
+// fusion proof (the network-layer half is simnet's
+// TestFusedBroadcastDeliveriesIdentical): across a seed-perturbed matrix of
+// models x workloads x cluster shapes, fusion on vs off must agree on every
+// simulated outcome — only the event count may drop — and the drop must be
+// accounted for exactly: eventsOff == eventsOn + fusedHops + chainedHits.
+// Odd seeds run the LP engine, where fusion is inert by design: the record
+// degrades to per-destination mailbox sends and every counter stays zero.
+func TestFanoutFusionDifferential(t *testing.T) {
+	models := []core.Model{
+		{C: core.Linearizable, P: core.Synchronous},
+		{C: core.Causal, P: core.Strict},
+		{C: core.Eventual, P: core.EventualP},
+		{C: core.ReadEnforcedC, P: core.ReadEnforcedP},
+		{C: core.Transactional, P: core.Scope},
+		{C: core.Causal, P: core.EventualP},
+		{C: core.Linearizable, P: core.Strict},
+		{C: core.Transactional, P: core.Synchronous},
+		{C: core.Eventual, P: core.Scope},
+		{C: core.ReadEnforcedC, P: core.Strict},
+	}
+	workloads := []ycsb.Workload{ycsb.WorkloadA, ycsb.WorkloadB, ycsb.WorkloadW}
+	engaged := uint64(0)
+	for seed := uint64(0); seed < 25; seed++ {
+		m := models[seed%uint64(len(models))]
+		cfg := smallConfig(m)
+		cfg.Workload = workloads[seed%uint64(len(workloads))]
+		cfg.Seed = 9000 + seed
+		cfg.WarmupNs = 100_000
+		cfg.MeasureNs = 300_000
+		cfg.Params.Servers = 3 + int(seed%3)
+		cfg.Params.ClientsPerServer = 3 + int(seed%2)
+		if seed%4 == 0 {
+			cfg.Params.QueuePairs = 2
+		}
+		cfg.TrackHistory = seed%3 == 0
+		if seed%2 == 1 {
+			cfg.IntraParallel = 2 + int(seed%3)
+		}
+		label := fmt.Sprintf("seed=%d %s %s s=%d lps=%d",
+			cfg.Seed, m, cfg.Workload.Name, cfg.Params.Servers, cfg.IntraParallel)
+
+		offCfg := cfg
+		offCfg.NoFanoutFusion = true
+		off, err := Run(offCfg)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", label, err)
+		}
+		on, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s fused: %v", label, err)
+		}
+		if off.NetFusedHops != 0 || off.NetChainedHops != 0 {
+			t.Fatalf("%s: disabled run counted fused=%d chained=%d",
+				label, off.NetFusedHops, off.NetChainedHops)
+		}
+		if on.NetFastHops != off.NetFastHops {
+			t.Fatalf("%s: fast-path hits diverged: %d fused vs %d unfused",
+				label, on.NetFastHops, off.NetFastHops)
+		}
+		if cfg.IntraParallel > 1 {
+			// LP never fuses: the runs must be fully identical.
+			if on.NetFusedHops != 0 || on.NetChainedHops != 0 {
+				t.Fatalf("%s: LP engine fused: fused=%d chained=%d",
+					label, on.NetFusedHops, on.NetChainedHops)
+			}
+			if on.Events != off.Events {
+				t.Fatalf("%s: LP events diverged %d vs %d", label, on.Events, off.Events)
+			}
+		} else if on.Events+on.NetFusedHops+on.NetChainedHops != off.Events {
+			t.Fatalf("%s: elision accounting broken: %d events + %d fused + %d chained != %d",
+				label, on.Events, on.NetFusedHops, on.NetChainedHops, off.Events)
+		}
+		engaged += on.NetFusedHops + on.NetChainedHops
+		equivalentModuloEvents(t, label, off, on)
+	}
+	if engaged == 0 {
+		t.Fatal("fusion never engaged across the differential matrix")
+	}
+}
+
+// TestFanoutFusionEventReduction pins the performance claim on the
+// broadcast-heavy corner: Linearizable visibility under Strict persistency
+// fans INV and VAL out to the whole replica group for every write, so on a
+// write-only open-loop figure-6 cell at ten servers the send-side elision
+// stack — fan-out fusion, chained delivery, and the NIC fast path — must cut
+// well over the 20% bar of all engine dispatches versus the unelided engine,
+// with fusion itself contributing a further double-digit cut on top of the
+// fast path alone.
+//
+// Fusion's own increment has a structural ceiling this test documents rather
+// than overstates: per write at group size k the fabric carries INV, ACK, and
+// VAL hops of which only the non-first INV and VAL copies are fusable —
+// 2(k-2)/(3(k-1)+2) of arrivals — and arrival hops are about a third of all
+// dispatches, capping the increment near 20% even with every gap proof
+// succeeding. ACK convergecasts legitimately never chain: each sender's
+// send-to-arrive window contains its siblings' arrivals, and the unfused
+// engine really does interleave those dispatches. Measured here the full
+// stack removes ~29% of dispatches and fusion's increment is ~13%, both
+// asserted with margin below. Deterministic: the seed fixes the exact counts,
+// and the elision ledger must balance: every elided dispatch is accounted to
+// exactly one of the three counters.
+func TestFanoutFusionEventReduction(t *testing.T) {
+	run := func(noFast, noFusion bool) *Result {
+		cfg := smallConfig(core.Model{C: core.Linearizable, P: core.Strict})
+		cfg.Params.Servers = 10
+		cfg.Params.ClientsPerServer = 1
+		cfg.Workload = ycsb.WorkloadW
+		cfg.Arrivals = &ycsb.ArrivalSpec{RatePerSec: 1.5e5}
+		cfg.WarmupNs = 200_000
+		cfg.MeasureNs = 2_000_000
+		cfg.NoNICFastPath = noFast
+		cfg.NoFanoutFusion = noFusion
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	unelided := run(true, true)
+	fastOnly := run(false, true)
+	full := run(false, false)
+	equivalentModuloEvents(t, "fig6-cell fast", unelided, fastOnly)
+	equivalentModuloEvents(t, "fig6-cell full", unelided, full)
+
+	// The ledger: every dispatch the unelided engine performs is either still
+	// dispatched, fused into a sibling copy's dispatch, chained at send time,
+	// or fast-pathed at the NIC.
+	elided := full.NetFusedHops + full.NetChainedHops + full.NetFastHops
+	if full.Events+elided != unelided.Events {
+		t.Fatalf("elision ledger broken: %d events + %d fused + %d chained + %d fast != %d",
+			full.Events, full.NetFusedHops, full.NetChainedHops, full.NetFastHops,
+			unelided.Events)
+	}
+	combined := 1 - float64(full.Events)/float64(unelided.Events)
+	increment := 1 - float64(full.Events)/float64(fastOnly.Events)
+	t.Logf("events %d -> %d fast-only -> %d full (%.1f%% combined, %.1f%% fusion increment; %d fused + %d chained + %d fast hops)",
+		unelided.Events, fastOnly.Events, full.Events,
+		100*combined, 100*increment,
+		full.NetFusedHops, full.NetChainedHops, full.NetFastHops)
+	if combined < 0.25 {
+		t.Fatalf("combined elision %.1f%% below the 25%% bar (%d -> %d)",
+			100*combined, unelided.Events, full.Events)
+	}
+	if increment < 0.10 {
+		t.Fatalf("fusion increment %.1f%% below the 10%% bar (%d -> %d)",
+			100*increment, fastOnly.Events, full.Events)
+	}
+}

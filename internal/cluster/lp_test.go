@@ -74,7 +74,11 @@ func runPair(t *testing.T, label string, cfg Config, workers int) {
 	// sequential engine than under LP epochs (the clock may not jump past an
 	// epoch barrier), so Events would legitimately differ. Disable it here —
 	// TestNICFastPathDifferential proves on/off equivalence separately.
+	// Fan-out fusion likewise elides arrive events under the sequential
+	// engine only (LP never fuses); TestFanoutFusionDifferential proves its
+	// on/off equivalence separately.
 	cfg.NoNICFastPath = true
+	cfg.NoFanoutFusion = true
 	seqCfg := cfg
 	seqCfg.IntraParallel = 1
 	seq, err := Run(seqCfg)
@@ -146,6 +150,7 @@ func TestLPWorkerCountInvariance(t *testing.T) {
 	cfg.Params.Servers = 5
 	cfg.TrackHistory = true
 	cfg.NoNICFastPath = true // Events comparability; see runPair
+	cfg.NoFanoutFusion = true
 	seqCfg := cfg
 	seqCfg.IntraParallel = 1
 	seq, err := Run(seqCfg)

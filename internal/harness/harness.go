@@ -63,6 +63,13 @@ type Options struct {
 	// clients. The capacity experiment sets this per cell.
 	Arrivals *ycsb.ArrivalSpec
 
+	// NoFanoutFusion disables broadcast fan-out fusion and send-time
+	// delivery elision on the sequential engine
+	// (cluster.Config.NoFanoutFusion): every network hop schedules its own
+	// event again, as the LP engine always does. Outcomes never change —
+	// only event counts and wall clock (ddpbench -nofusion).
+	NoFanoutFusion bool
+
 	// Shards partitions the keyspace across Params.Servers/Shards-node
 	// replica groups behind the consistent-hash ring
 	// (cluster.Config.Shards): 0 keeps the paper's flat replica group. Set
@@ -103,6 +110,8 @@ func (o Options) config(m core.Model, w ycsb.Workload) cluster.Config {
 		MeasureNs: o.MeasureNs,
 		Arrivals:  o.Arrivals,
 		Shards:    o.Shards,
+
+		NoFanoutFusion: o.NoFanoutFusion,
 	}
 }
 
@@ -128,6 +137,10 @@ func progressLine(w io.Writer, m core.Model, wl ycsb.Workload, r *cluster.Result
 	}
 	fmt.Fprintf(w, "      events %8.2f M/sim-s  max pending %6d  wheel %5.1f%%  overflow %d  turns %d\n",
 		evPerSec/1e6, s.MaxPending, wheelPct, s.Overflow, s.Turns)
+	if elided := r.NetFastHops + r.NetFusedHops + r.NetChainedHops; elided > 0 {
+		fmt.Fprintf(w, "      elided %d hops: nic-fast %d  fanout-fused %d  send-chained %d\n",
+			elided, r.NetFastHops, r.NetFusedHops, r.NetChainedHops)
+	}
 	if lp := r.LP; lp.Workers > 1 {
 		fmt.Fprintf(w, "      lp workers %d  lps %d  lookahead %dns  epochs %d  mail %d\n",
 			lp.Workers, lp.LPs, lp.Lookahead, lp.Epochs, lp.Mail)

@@ -420,25 +420,50 @@ func (r *Replica) broadcast(p payload) {
 		}, r.member.Base, r.member.Size, -1)
 		return
 	}
+	g := r.member.Size / r.p.Groups
+	base := (r.id / g) * g
 	if r.tracer != nil {
 		r.trace("%s -> group", p.Kind)
-	}
-	for to := 0; to < r.member.Size; to++ {
-		if to == r.id || !r.sameGroup(to) {
-			continue
+		for to := base; to < base+g; to++ {
+			if to != r.id {
+				r.trace("%s -> node %d", p.Kind, r.member.global(to))
+			}
 		}
-		r.send(to, p)
 	}
+	r.net.BroadcastRange(simnet.Message{
+		From:    r.gid,
+		Size:    r.wireSize(p),
+		Kind:    int(p.Kind),
+		Payload: r.boxShared(p, g-1),
+	}, r.member.global(base), g, -1)
 }
 
 // broadcastRemoteGroups lazily ships an update to every group member outside
-// the local hybrid group (the eventual tier of a hybrid deployment).
+// the local hybrid group (the eventual tier of a hybrid deployment): the
+// contiguous rank blocks below and above the local group, each a fused
+// group-scoped broadcast sharing one payload box.
 func (r *Replica) broadcastRemoteGroups(p payload) {
-	for to := 0; to < r.member.Size; to++ {
-		if r.sameGroup(to) {
+	if r.p.Groups <= 1 {
+		return
+	}
+	g := r.member.Size / r.p.Groups
+	base := (r.id / g) * g
+	for _, blk := range [2][2]int{{0, base}, {base + g, r.member.Size}} {
+		lo, hi := blk[0], blk[1]
+		if lo >= hi {
 			continue
 		}
-		r.send(to, p)
+		if r.tracer != nil {
+			for to := lo; to < hi; to++ {
+				r.trace("%s -> node %d", p.Kind, r.member.global(to))
+			}
+		}
+		r.net.BroadcastRange(simnet.Message{
+			From:    r.gid,
+			Size:    r.wireSize(p),
+			Kind:    int(p.Kind),
+			Payload: r.boxShared(p, hi-lo),
+		}, r.member.global(lo), hi-lo, -1)
 	}
 }
 

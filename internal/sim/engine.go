@@ -57,6 +57,18 @@ func (e *event) before(o *event) bool {
 	return e.seq < o.seq
 }
 
+// ChainResolver is the deferred-continuation hook behind the network layer's
+// send-time arrive elision. A component that wants to run work "at time t"
+// without scheduling an event — but cannot jump the clock because a handler
+// is still executing at the current time — registers itself with SetChain
+// during the dispatch; the engine calls OnChain once the dispatch completes,
+// when a clock jump is safe again. OnChain re-proves the gap itself (via
+// TryAdvance) and falls back to scheduling normally when the proof fails,
+// so deferral never changes a simulated outcome.
+type ChainResolver interface {
+	OnChain()
+}
+
 // Scheduler selects the engine's pending-event structure.
 type Scheduler int
 
@@ -121,6 +133,12 @@ type Engine struct {
 	// loop; at equal timestamps arrivals run before locally scheduled
 	// events (see Ingress).
 	ing *Ingress
+
+	// chain, when non-nil, is resolved after the event in progress returns
+	// (see ChainResolver). dispatching reports whether an event handler is
+	// currently on the stack — deferral is only meaningful mid-dispatch.
+	chain       ChainResolver
+	dispatching bool
 
 	useHeap bool
 	heap    eventHeap
@@ -289,7 +307,9 @@ func (e *Engine) headAt() int64 {
 // becoming visible) happen, so work at or past it must go through a real
 // event.
 func (e *Engine) TryAdvance(t int64) bool {
-	if t >= e.runUntil || t < e.now {
+	if e.stopped || t >= e.runUntil || t < e.now {
+		// A Stop() leaves pending work queued for a later Run; jumping the
+		// clock past it here would run work the stopped run must not.
 		return false
 	}
 	if e.ing != nil && e.ing.Len() > 0 && e.ing.HeadAt() <= t {
@@ -307,10 +327,35 @@ func (e *Engine) TryAdvance(t int64) bool {
 	return true
 }
 
+// Dispatching reports whether an event handler is currently executing on
+// this engine — the window in which SetChain deferral is meaningful.
+func (e *Engine) Dispatching() bool { return e.dispatching }
+
+// SetChain registers c to be resolved when the event currently being
+// dispatched returns (see ChainResolver). At most one resolver is held; the
+// caller owns the policy of never registering while one is outstanding.
+func (e *Engine) SetChain(c ChainResolver) { e.chain = c }
+
 // dispatchOne executes the next event at or before until — the earlier of
-// the scheduler head and the ingress head, arrivals first on ties — and
-// reports whether anything ran.
+// the scheduler head and the ingress head, arrivals first on ties — then
+// resolves any chained continuation the event deferred, and reports whether
+// anything ran.
 func (e *Engine) dispatchOne(until int64) bool {
+	e.dispatching = true
+	ran := e.dispatchNext(until)
+	// Resolve deferred continuations now that no handler is mid-execution:
+	// a clock jump is safe again, and OnChain may itself defer more work.
+	for e.chain != nil {
+		c := e.chain
+		e.chain = nil
+		c.OnChain()
+	}
+	e.dispatching = false
+	return ran
+}
+
+// dispatchNext picks and runs the next event without chain resolution.
+func (e *Engine) dispatchNext(until int64) bool {
 	// Local events strictly before a pending arrival run first; at the
 	// arrival's own timestamp the arrival wins. When schedLB already
 	// proves no local event precedes the arrival, skip the scheduler

@@ -67,6 +67,20 @@ type Config struct {
 	// (see cluster's TestNICFastPathDifferential); this switch exists for
 	// that differential proof and for before/after event accounting.
 	NoFastPath bool
+
+	// NoFanoutFusion disables the fan-out fusion layer (sequential wiring
+	// only; LP wiring never fuses): fused broadcast delivery — one multicast
+	// record carrying all copies of a BroadcastRange, chaining copy to copy
+	// via gap proofs instead of scheduling one arrive event each (see
+	// multicast) — and send-time arrive elision for unicast sends (see
+	// Network.OnChain). Like NoFastPath, the switch changes only event
+	// counts, never a simulated outcome (TestFanoutFusionDifferential).
+	NoFanoutFusion bool
+
+	// MaxKind, when > 0, is the highest Message.Kind the workload will send;
+	// per-kind counters are sized to it up front so the send hot path never
+	// grows them. Kinds above MaxKind still work through a cold grow path.
+	MaxKind int
 }
 
 // Validate reports the first configuration error, if any.
@@ -82,6 +96,8 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("simnet: Jitter must be >= 0 ns, got %d", cfg.Jitter)
 	case cfg.QueuePairs < 0:
 		return fmt.Errorf("simnet: QueuePairs must be >= 0, got %d", cfg.QueuePairs)
+	case cfg.MaxKind < 0:
+		return fmt.Errorf("simnet: MaxKind must be >= 0, got %d", cfg.MaxKind)
 	}
 	if cfg.PairLat != nil {
 		if len(cfg.PairLat) != cfg.Nodes {
@@ -131,8 +147,17 @@ type rxState struct {
 	rxFree   int64 // NIC receive next-free time
 	sumDelay int64
 	dropped  uint64
-	fast     uint64      // arrivals delivered through the one-hop fast path
-	free     []*delivery // recycled delivery records (LP wiring only)
+	fast     uint64 // arrivals delivered through the one-hop fast path
+	// Every cross-node or loopback arrival reaches the node through exactly
+	// one of the next three ways, so schedArr + fused + chained always
+	// equals the arrivals processed so far (== delivered once quiescent) —
+	// the elision-accounting identity TestFusedBroadcastDeliveriesIdentical
+	// pins per node.
+	schedArr  uint64      // arrivals dispatched as real (scheduled) events
+	fused     uint64      // arrivals chained inline from a fused broadcast
+	chained   uint64      // arrivals elided at send time (deferred unicast)
+	delivered uint64      // messages handed to the node (incl. dropped)
+	free      []*delivery // recycled delivery records (LP wiring only)
 }
 
 // mailEntry is one cross-node arrival parked in a mailbox until the epoch
@@ -159,6 +184,18 @@ type Network struct {
 	ing     *sim.Ingress
 	seqFree []*delivery
 
+	// Fan-out fusion state (sequential wiring with fusion enabled only).
+	// pend holds, per (src,dst) lane, the one not-yet-pushed copy of a
+	// fused broadcast parked on that lane; def holds the one deferred
+	// unicast arrival awaiting end-of-dispatch chain resolution. Both are
+	// arrivals the ingress cannot see yet, so any later push to the same
+	// lane must flush them first (lanes are FIFO), and every gap proof
+	// taken while one is pending must account for it.
+	fusing bool
+	pend   []pendSlot
+	def    deferredSend
+	mcFree []*multicast
+
 	// Parallel wiring: per-destination ingresses and per-(src,dst)
 	// mailboxes drained at epoch barriers.
 	lp       bool
@@ -183,6 +220,10 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	n := newNetwork(engs, cfg)
 	n.ing = sim.NewIngress(cfg.Nodes * cfg.Nodes) // one lane per (src,dst) flow
 	eng.BindIngress(n.ing)
+	if !cfg.NoFanoutFusion {
+		n.fusing = true
+		n.pend = make([]pendSlot, cfg.Nodes*cfg.Nodes)
+	}
 	return n
 }
 
@@ -217,8 +258,12 @@ func newNetwork(engs []*sim.Engine, cfg Config) *Network {
 		rx:         make([]rxState, cfg.Nodes),
 		lastArrive: make([]int64, cfg.Nodes*cfg.Nodes),
 	}
+	kinds := 16
+	if cfg.MaxKind+1 > kinds {
+		kinds = cfg.MaxKind + 1
+	}
 	for i := range n.tx {
-		n.tx[i].byKind = make([]uint64, 16)
+		n.tx[i].byKind = make([]uint64, kinds)
 		n.tx[i].rel.rings = make([]relRing, cfg.Nodes)
 		n.tx[i].rel.headTs = make([]int64, cfg.Nodes)
 		for d := range n.tx[i].rel.headTs {
@@ -282,6 +327,7 @@ const (
 // so the record's events schedule closure-free.
 func (d *delivery) OnEvent(arg uint64) {
 	if arg == hopArrive {
+		d.n.rx[d.msg.To].schedArr++
 		d.arrive()
 		return
 	}
@@ -347,13 +393,20 @@ func (d *delivery) deliver() {
 	n := d.n
 	msg := d.msg
 	d.msg = Message{} // drop the payload reference before pooling
-	rx := &n.rx[msg.To]
 	if n.lp {
-		rx.free = append(rx.free, d)
+		n.rx[msg.To].free = append(n.rx[msg.To].free, d)
 	} else {
 		n.seqFree = append(n.seqFree, d)
 	}
+	n.deliverMsg(msg)
+}
 
+// deliverMsg hands one message to its destination handler with delivery
+// accounting — the shared tail of unicast deliveries and fused broadcast
+// copies.
+func (n *Network) deliverMsg(msg Message) {
+	rx := &n.rx[msg.To]
+	rx.delivered++
 	rx.sumDelay += n.engs[msg.To].Now() - msg.SentAt
 	h := n.handlers[msg.To]
 	if h == nil {
@@ -363,18 +416,26 @@ func (d *delivery) deliver() {
 	h(msg)
 }
 
-// Send transmits msg; delivery invokes the destination handler. Sends to
-// self are delivered after a loopback cost of one serialization (no
-// propagation), which the protocols use for local client responses.
+// growByKind is the cold fallback for kinds above Config.MaxKind.
+//
+//go:noinline
+func (tx *txState) growByKind(k int) {
+	grown := make([]uint64, k+1)
+	copy(grown, tx.byKind)
+	tx.byKind = grown
+}
+
+// prepSend performs all sender-side bookkeeping of one transmission —
+// accounting, queue-pair backpressure, transmit-queue occupancy, latency,
+// jitter, and the pair-FIFO clamp — and returns the wire serialization time
+// and the arrival time at the destination NIC. It is the shared front half
+// of Send and of each copy of a fused broadcast, so the two paths evolve
+// sender state bit-identically.
 //
 // Every quantity below is derived from sender-local state and the sender's
 // clock, so a send computes identically under sequential and LP wiring.
-func (n *Network) Send(msg Message) {
+func (n *Network) prepSend(msg *Message, eng *sim.Engine) (ser, arrive int64) {
 	N := n.cfg.Nodes
-	if msg.From < 0 || msg.From >= N || msg.To < 0 || msg.To >= N {
-		panic(fmt.Sprintf("simnet: bad route %d->%d", msg.From, msg.To))
-	}
-	eng := n.engs[msg.From]
 	now := eng.Now()
 	msg.SentAt = now
 	tx := &n.tx[msg.From]
@@ -382,15 +443,13 @@ func (n *Network) Send(msg Message) {
 	tx.bytes += uint64(msg.Size)
 	if k := msg.Kind; k >= 0 {
 		if k >= len(tx.byKind) {
-			grown := make([]uint64, k+1)
-			copy(grown, tx.byKind)
-			tx.byKind = grown
+			tx.growByKind(k)
 		}
 		tx.byKind[k]++
 	}
 	tx.seq++
 
-	ser := n.serialization(msg.Size)
+	ser = n.serialization(msg.Size)
 
 	// Queue-pair backpressure: once the NIC has QueuePairs sends in flight,
 	// each additional send pays an extra scheduling penalty on top of the
@@ -417,7 +476,7 @@ func (n *Network) Send(msg Message) {
 			lat += jitterFor(n.cfg.Seed, uint64(msg.From*N+msg.To), tx.seq, n.cfg.Jitter)
 		}
 	}
-	arrive := txDone + lat
+	arrive = txDone + lat
 	// Reliable-connection transports deliver in order per (src,dst) pair:
 	// clamp a jittered early arrival behind its predecessor.
 	la := &n.lastArrive[msg.From*N+msg.To]
@@ -426,6 +485,19 @@ func (n *Network) Send(msg Message) {
 	}
 	*la = arrive
 	tx.rel.push(msg.To, arrive)
+	return ser, arrive
+}
+
+// Send transmits msg; delivery invokes the destination handler. Sends to
+// self are delivered after a loopback cost of one serialization (no
+// propagation), which the protocols use for local client responses.
+func (n *Network) Send(msg Message) {
+	N := n.cfg.Nodes
+	if msg.From < 0 || msg.From >= N || msg.To < 0 || msg.To >= N {
+		panic(fmt.Sprintf("simnet: bad route %d->%d", msg.From, msg.To))
+	}
+	eng := n.engs[msg.From]
+	ser, arrive := n.prepSend(&msg, eng)
 
 	d := n.newDelivery(msg.From)
 	d.msg = msg
@@ -436,13 +508,76 @@ func (n *Network) Send(msg Message) {
 		eng.AtEvent(arrive, d, hopArrive)
 		return
 	}
+	seq := n.tx[msg.From].seq
 	if n.lp {
 		b := &n.mail[msg.From*N+msg.To]
-		*b = append(*b, mailEntry{at: arrive, seq: tx.seq, d: d})
+		*b = append(*b, mailEntry{at: arrive, seq: seq, d: d})
 		return
 	}
-	n.ing.Push(msg.From*N+msg.To,
-		sim.IngressEvent{At: arrive, Src: int32(msg.From), Seq: tx.seq, H: d, Arg: hopArrive})
+	lane := msg.From*N + msg.To
+	if n.fusing {
+		// A not-yet-visible arrival already parked on this lane must enter
+		// the ingress first: lanes are FIFO, and this send's arrival is
+		// clamped at or after it.
+		if n.pend[lane].mc != nil {
+			n.flushPend(lane)
+		} else if n.def.d != nil && n.def.lane == int32(lane) {
+			n.flushDef()
+		}
+		if n.def.d == nil && eng.Dispatching() {
+			// Send-time arrive elision: park the arrival and let the
+			// engine chain-resolve it once this dispatch completes — if
+			// the gap proof holds then, the arrive hop runs without ever
+			// being scheduled. OnChain falls back to this same ingress
+			// push when it fails.
+			n.def = deferredSend{d: d, at: arrive, seq: seq, lane: int32(lane)}
+			eng.SetChain(n)
+			return
+		}
+	}
+	n.ing.Push(lane,
+		sim.IngressEvent{At: arrive, Src: int32(msg.From), Seq: seq, H: d, Arg: hopArrive})
+}
+
+// deferredSend is the one unicast arrival parked for end-of-dispatch chain
+// resolution (see Send and Network.OnChain).
+type deferredSend struct {
+	d    *delivery
+	at   int64
+	seq  uint64
+	lane int32
+}
+
+// flushDef pushes the deferred unicast arrival to the ingress with its
+// original key, giving up on eliding it. The engine's chain slot may still
+// fire OnChain afterwards; it no-ops on an empty deferral.
+func (n *Network) flushDef() {
+	def := n.def
+	n.def.d = nil
+	n.ing.Push(int(def.lane),
+		sim.IngressEvent{At: def.at, Src: int32(def.d.msg.From), Seq: def.seq, H: def.d, Arg: hopArrive})
+}
+
+// OnChain resolves the deferred unicast arrival once the dispatch that sent
+// it completes: if the engine proves nothing else runs up to the arrival
+// time, the arrive hop runs inline right now (composing with the rx fast
+// path, so an uncontended message costs zero scheduled events end-to-end);
+// otherwise the arrival takes the normal ingress path with its original key,
+// dispatching exactly as an undeferred send would have.
+func (n *Network) OnChain() {
+	def := n.def
+	if def.d == nil {
+		return
+	}
+	n.def.d = nil
+	eng := n.engs[def.d.msg.From]
+	if eng.TryAdvance(def.at) {
+		n.rx[def.d.msg.To].chained++
+		def.d.arrive()
+		return
+	}
+	n.ing.Push(int(def.lane),
+		sim.IngressEvent{At: def.at, Src: int32(def.d.msg.From), Seq: def.seq, H: def.d, Arg: hopArrive})
 }
 
 // DeliverMail drains every mailbox into its destination's ingress queue and
@@ -517,6 +652,47 @@ func (n *Network) FastDeliveries() uint64 {
 	return total
 }
 
+// FusedHops returns how many broadcast-copy arrivals were chained inline
+// from a fused fan-out instead of dispatching as events.
+func (n *Network) FusedHops() uint64 {
+	var total uint64
+	for i := range n.rx {
+		total += n.rx[i].fused
+	}
+	return total
+}
+
+// ChainedHops returns how many unicast arrivals were elided at send time
+// (deferred and run at end of dispatch) instead of dispatching as events.
+func (n *Network) ChainedHops() uint64 {
+	var total uint64
+	for i := range n.rx {
+		total += n.rx[i].chained
+	}
+	return total
+}
+
+// ScheduledArrives returns how many arrivals dispatched as real events. With
+// the counts above, schedArr + fused + chained covers every arrival exactly
+// once — the elision-accounting identity the differential tests pin.
+func (n *Network) ScheduledArrives() uint64 {
+	var total uint64
+	for i := range n.rx {
+		total += n.rx[i].schedArr
+	}
+	return total
+}
+
+// Delivered returns messages handed to destination nodes so far (including
+// drops to unregistered handlers).
+func (n *Network) Delivered() uint64 {
+	var total uint64
+	for i := range n.rx {
+		total += n.rx[i].delivered
+	}
+	return total
+}
+
 // Dropped returns messages delivered to nodes with no handler.
 func (n *Network) Dropped() uint64 {
 	var total uint64
@@ -552,7 +728,17 @@ func (n *Network) Broadcast(msg Message, except int) {
 // of a sharded cluster, where each replica group owns a contiguous block of
 // node IDs. Copies go out in ascending node order, exactly as Broadcast
 // sends them when the range covers the whole fabric.
+//
+// Under sequential wiring with fusion enabled the fan-out is fused: one
+// pooled multicast record carries every copy and arrivals chain through gap
+// proofs instead of each scheduling an event (see fanout.go) — byte-identical
+// outcomes, fewer events. LP wiring and NoFanoutFusion degrade to the plain
+// per-destination send loop.
 func (n *Network) BroadcastRange(msg Message, base, size, except int) {
+	if n.fusing {
+		n.broadcastFused(msg, base, size, except)
+		return
+	}
 	for to := base; to < base+size; to++ {
 		if to == msg.From || to == except {
 			continue

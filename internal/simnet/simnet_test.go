@@ -328,8 +328,11 @@ func BenchmarkNetworkBroadcast(b *testing.B) {
 func runFastPathTraffic(t *testing.T, seed uint64, noFast bool) (got []string, events, fast uint64) {
 	t.Helper()
 	e := sim.New()
+	// Fusion off: this identity isolates the rx fast path, so the only
+	// event-count delta between the runs must be the elided deliver hops.
+	// The combined accounting runs in fanout_test.go.
 	cfg := Config{Nodes: 3, OneWayLat: 500, Jitter: 100, Bandwidth: 1_000_000_000,
-		QueuePairs: 4, Seed: seed, NoFastPath: noFast}
+		QueuePairs: 4, Seed: seed, NoFastPath: noFast, NoFanoutFusion: true}
 	n := New(e, cfg)
 	for i := 0; i < 3; i++ {
 		i := i
