@@ -20,15 +20,20 @@ test:
 # correctness bugs here. The NIC fast-path differential, the sharded
 # differential, and the capacity/scaling smokes run explicitly on top: the
 # fast path elides events, the fan-out fusion layer elides broadcast and
-# send-time arrive hops, and the sharded topology re-routes client ops
+# send-time arrive hops, the NVM completion trains elide device completion
+# events (on both engines), and the sharded topology re-routes client ops
 # across replica groups, so their equivalence proofs are gate-level. The
-# fan-out benchmark runs one iteration as a smoke against bit-rot.
+# fan-out and completion-train benchmarks run one iteration as smokes
+# against bit-rot.
 check: vet
 	$(GO) test -race ./...
 	$(GO) test -race ./internal/cluster/ -run 'TestNICFastPathDifferential|TestNICFastPathEventReduction'
 	$(GO) test -race ./internal/cluster/ -run 'TestFanoutFusionDifferential|TestFanoutFusionEventReduction'
+	$(GO) test -race ./internal/cluster/ -run 'TestDevTrainDifferential|TestDevTrainEventReduction'
+	$(GO) test -race ./internal/nvm/ -run 'TestTrainDifferential|TestTrainOpenLoopReduction'
 	$(GO) test -race ./internal/cluster/ -run 'TestSharded'
 	$(GO) test -run='^$$' -bench BenchmarkBroadcastFanout -benchtime=1x .
+	$(GO) test -run='^$$' -bench BenchmarkNVMCompletionTrain -benchtime=1x .
 	$(GO) run ./cmd/ddpbench -exp capacity -quick > /dev/null
 	$(GO) run ./cmd/ddpbench -exp scaling -quick > /dev/null
 

@@ -95,6 +95,15 @@ type Config struct {
 	// accounting (results/BENCH_fanout.json).
 	NoFanoutFusion bool
 
+	// NoDevTrain disables every NVM device's fused completion train
+	// (nvm.Config.NoTrain): each access schedules its own completion event
+	// again. The train is on by default — on both engines; completions are
+	// node-local, so unlike fan-out fusion it also elides under LP — and
+	// never changes any simulated outcome, only the event count, which
+	// TestDevTrainDifferential proves; this switch exists for that proof and
+	// for before/after event accounting (results/BENCH_nvmtrain.json).
+	NoDevTrain bool
+
 	// TrackHistory records every acknowledged write and completed read for
 	// the recovery and intuition checkers. Costs memory; off by default.
 	TrackHistory bool
@@ -162,6 +171,8 @@ type Result struct {
 	NetFastHops    uint64 // arrivals delivered via the NIC one-hop fast path
 	NetFusedHops   uint64 // broadcast arrivals chained inline by fan-out fusion
 	NetChainedHops uint64 // unicast arrivals elided at send time (chain deferral)
+	DevFusedComps  uint64 // NVM completions chained inline by the device train
+	DevSchedComps  uint64 // NVM completions dispatched from a scheduled event
 	WorkerMeanWait float64
 
 	// Scope persist barrier latency (only under Scope persistency).
@@ -465,7 +476,9 @@ func New(cfg Config) (*Cluster, error) {
 		eng := c.nodes[i].eng
 		vol, _ := engines.New(cfg.Engine)
 		img, _ := engines.New(cfg.Engine)
-		dev := nvm.New(eng, nvm.NVMConfig(p.NVMReadLat, p.NVMWriteLat, p.NVMChannels, p.NVMBanks))
+		nvmCfg := nvm.NVMConfig(p.NVMReadLat, p.NVMWriteLat, p.NVMChannels, p.NVMBanks)
+		nvmCfg.NoTrain = cfg.NoDevTrain
+		dev := nvm.New(eng, nvmCfg)
 		workers := sim.NewPool(eng, p.WorkersPerServer)
 		c.Devices = append(c.Devices, dev)
 		c.Workers = append(c.Workers, workers)
@@ -618,6 +631,8 @@ func (c *Cluster) Collect(window int64, wall time.Duration) *Result {
 	for i, r := range c.Replicas {
 		res.Protocol.Add(&r.M)
 		res.NVMMeanWaitNs += c.Devices[i].MeanWait()
+		res.DevFusedComps += c.Devices[i].FusedCompletions()
+		res.DevSchedComps += c.Devices[i].ScheduledCompletions()
 		if q := c.Devices[i].MaxOutstanding(); q > res.NVMMaxQueue {
 			res.NVMMaxQueue = q
 		}

@@ -76,9 +76,13 @@ func runPair(t *testing.T, label string, cfg Config, workers int) {
 	// TestNICFastPathDifferential proves on/off equivalence separately.
 	// Fan-out fusion likewise elides arrive events under the sequential
 	// engine only (LP never fuses); TestFanoutFusionDifferential proves its
-	// on/off equivalence separately.
+	// on/off equivalence separately. The NVM completion train fuses on both
+	// engines but at different rates (LP gap proofs stop at epoch
+	// barriers); TestDevTrainDifferential proves its on/off equivalence on
+	// both engines separately.
 	cfg.NoNICFastPath = true
 	cfg.NoFanoutFusion = true
+	cfg.NoDevTrain = true
 	seqCfg := cfg
 	seqCfg.IntraParallel = 1
 	seq, err := Run(seqCfg)
@@ -151,6 +155,7 @@ func TestLPWorkerCountInvariance(t *testing.T) {
 	cfg.TrackHistory = true
 	cfg.NoNICFastPath = true // Events comparability; see runPair
 	cfg.NoFanoutFusion = true
+	cfg.NoDevTrain = true
 	seqCfg := cfg
 	seqCfg.IntraParallel = 1
 	seq, err := Run(seqCfg)

@@ -70,6 +70,12 @@ type Options struct {
 	// only event counts and wall clock (ddpbench -nofusion).
 	NoFanoutFusion bool
 
+	// NoDevTrain disables the NVM devices' fused completion trains
+	// (cluster.Config.NoDevTrain): every device access schedules its own
+	// completion event again, on both engines. Outcomes never change —
+	// only event counts and wall clock (ddpbench -nodevtrain).
+	NoDevTrain bool
+
 	// Shards partitions the keyspace across Params.Servers/Shards-node
 	// replica groups behind the consistent-hash ring
 	// (cluster.Config.Shards): 0 keeps the paper's flat replica group. Set
@@ -112,6 +118,7 @@ func (o Options) config(m core.Model, w ycsb.Workload) cluster.Config {
 		Shards:    o.Shards,
 
 		NoFanoutFusion: o.NoFanoutFusion,
+		NoDevTrain:     o.NoDevTrain,
 	}
 }
 
@@ -140,6 +147,10 @@ func progressLine(w io.Writer, m core.Model, wl ycsb.Workload, r *cluster.Result
 	if elided := r.NetFastHops + r.NetFusedHops + r.NetChainedHops; elided > 0 {
 		fmt.Fprintf(w, "      elided %d hops: nic-fast %d  fanout-fused %d  send-chained %d\n",
 			elided, r.NetFastHops, r.NetFusedHops, r.NetChainedHops)
+	}
+	if comps := r.DevSchedComps + r.DevFusedComps; r.DevFusedComps > 0 {
+		fmt.Fprintf(w, "      device completions %d: train-fused %d (%.1f%%)  scheduled %d\n",
+			comps, r.DevFusedComps, 100*float64(r.DevFusedComps)/float64(comps), r.DevSchedComps)
 	}
 	if lp := r.LP; lp.Workers > 1 {
 		fmt.Fprintf(w, "      lp workers %d  lps %d  lookahead %dns  epochs %d  mail %d\n",

@@ -1,0 +1,156 @@
+// Fused completion train: one scheduled engine event for a device's whole
+// set of in-flight completions instead of one event per access.
+//
+// The fusion is possible because an access's completion time is fully known
+// at issue: end = start + service derives from bank and channel-bus
+// occupancy, all sender-local state that nothing can change between issue
+// and completion. Each access therefore reserves its event sequence number
+// at issue (Engine.ReserveSeq — the number the unelided engine would have
+// consumed scheduling the completion, keeping every other event's tie-break
+// key identical on/off) and parks a car keyed by the canonical (end, seq)
+// dispatch order. Only the train's earliest car holds a real engine event
+// (the anchor); when it dispatches, the device asks the engine to prove
+// (TryAdvance) that nothing else runs up to the next car's completion time,
+// in which case that completion runs inline in the same dispatch — via the
+// engine's post-dispatch chain slot, since a clock jump is unsafe while the
+// completion callback is still executing. A successful proof means the
+// unelided engine's very next dispatch would have been exactly that
+// completion; a failed proof falls back to scheduling the car normally with
+// its original (end, seq) key, where it dispatches exactly as an unfused
+// access would.
+//
+// Invisibility discipline, mirroring simnet's fan-out fusion:
+//
+//  1. Earliest-visible shielding: the train's minimum car always has a
+//     visible stand-in — a scheduled event, or (within the dispatch that
+//     popped its predecessor) a registered chain entry carrying its time —
+//     and every parked car is at or after the minimum, so no gap proof that
+//     a parked car could invalidate can succeed.
+//  2. Re-anchor on earlier-landing access: an access whose completion
+//     precedes the parked head becomes the new minimum and is scheduled
+//     immediately; the old anchor keeps its (now later) event.
+//  3. Exact-tie refusal: TryAdvance refuses when anything is pending at the
+//     target time itself, so a completion tying another event falls back to
+//     a real event and the engine's (time, seq) tie-break decides, exactly
+//     as unfused.
+//
+// Completions are node-local — no cross-LP edge is involved — so the train
+// fuses under the LP engine too, the first elision layer that survives
+// intra-cell parallelism (chains crossing an epoch barrier simply fail
+// their proof and fall back).
+package nvm
+
+import "repro/internal/sim"
+
+// car is one in-flight completion: its canonical dispatch key, the parked
+// access record, and whether a real engine event exists for it.
+type car struct {
+	end   int64
+	seq   uint64
+	acc   int32
+	sched bool
+}
+
+// before reports dispatch ordering between cars: (end, seq), matching the
+// engine's event order.
+func (c *car) before(o *car) bool {
+	if c.end != o.end {
+		return c.end < o.end
+	}
+	return c.seq < o.seq
+}
+
+// carHeap is a 4-ary min-heap of cars keyed (end, seq). Same shape as the
+// engine's event heap: shallower than binary for the pointer-chasing-free
+// sift paths that dominate here.
+type carHeap struct {
+	items []car
+}
+
+func (h *carHeap) len() int { return len(h.items) }
+
+// min returns the earliest in-flight completion. Call only when len() > 0.
+func (h *carHeap) min() *car { return &h.items[0] }
+
+// push adds c and reports whether it became the new minimum — the caller
+// must then schedule it (train invariant: the minimum is always visible).
+func (h *carHeap) push(c car) bool {
+	h.items = append(h.items, c)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !h.items[i].before(&h.items[p]) {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+	return i == 0
+}
+
+// popMin removes and returns the earliest car. Call only when len() > 0.
+func (h *carHeap) popMin() car {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= last {
+			break
+		}
+		m := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for j := first + 1; j < end; j++ {
+			if h.items[j].before(&h.items[m]) {
+				m = j
+			}
+		}
+		if !h.items[m].before(&h.items[i]) {
+			break
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		i = m
+	}
+	return top
+}
+
+// chainNext registers the device for end-of-dispatch chain resolution when
+// the train's new minimum is parked (eventless). Called after a completion
+// pops the old minimum: the registration's time keeps the parked head
+// visible to every gap proof until OnChain resolves it.
+func (d *Device) chainNext() {
+	if d.train.len() > 0 && !d.train.min().sched {
+		d.eng.SetChain(d, d.train.min().end)
+	}
+}
+
+// OnChain resolves the parked head once the dispatch that exposed it
+// completes: if the engine proves nothing else runs up to its completion
+// time, the completion runs inline right now — its event elided — and the
+// train re-registers for the car after it; otherwise the car is scheduled
+// normally with its original (end, seq) key, dispatching exactly as an
+// unfused access would. A minimum that is already scheduled means an access
+// issued since registration re-anchored the train (invariant 2); its event
+// will re-chain when it dispatches.
+func (d *Device) OnChain() {
+	m := d.train.min()
+	if m.sched {
+		return
+	}
+	if d.eng.TryAdvance(m.end) {
+		c := d.train.popMin()
+		d.fusedComp++
+		d.complete(uint64(c.acc))
+		d.chainNext()
+		return
+	}
+	d.eng.AtEventSeq(m.end, m.seq, d, uint64(m.acc))
+	m.sched = true
+}
+
+var _ sim.ChainResolver = (*Device)(nil)

@@ -1,0 +1,215 @@
+package nvm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// compLog records one completion as the device fired it: simulated time plus
+// the access's identity. Byte-comparing logs between train-on and train-off
+// runs is the device-layer differential — stronger than comparing summary
+// statistics, since it pins the exact time and order of every completion.
+type compLog struct {
+	buf strings.Builder
+}
+
+func (l *compLog) handler(e *sim.Engine) sim.Handler { return logHandler{l, e} }
+
+type logHandler struct {
+	l *compLog
+	e *sim.Engine
+}
+
+func (h logHandler) OnEvent(arg uint64) {
+	fmt.Fprintf(&h.l.buf, "%d:%d\n", h.e.Now(), arg)
+}
+
+// nopHandler is a completion sink for the allocation guard.
+type nopHandler struct{}
+
+func (nopHandler) OnEvent(uint64) {}
+
+// runTrainWorkload drives one device with a seeded random mixture of reads
+// and writes, contended by unrelated engine events (which defeat a fraction
+// of the train's gap proofs), and returns the completion log plus the
+// engine's dispatch count. Issue bursts of up to 4 accesses model
+// write-back drains; the contention events model the rest of a node.
+func runTrainWorkload(seed int64, noTrain bool) (string, uint64, *Device) {
+	e := sim.New()
+	c := cfg()
+	c.NoTrain = noTrain
+	d := New(e, c)
+	rng := rand.New(rand.NewSource(seed))
+	log := &compLog{}
+	h := log.handler(e)
+	var id uint64
+	var step func()
+	steps := 0
+	step = func() {
+		burst := 1 + rng.Intn(4)
+		for i := 0; i < burst; i++ {
+			addr := rng.Uint64() % 512
+			id++
+			if rng.Intn(4) == 0 {
+				d.ReadEvent(addr, h, id)
+			} else {
+				d.WriteEvent(addr, h, id)
+			}
+		}
+		if rng.Intn(3) == 0 {
+			// Unrelated event landing mid-train: forces proof failures and
+			// scheduled fallbacks.
+			e.Schedule(int64(rng.Intn(900)), func() {})
+		}
+		if steps++; steps < 300 {
+			e.Schedule(int64(rng.Intn(1200)), step)
+		}
+	}
+	e.Schedule(0, step)
+	e.RunAll()
+	return log.buf.String(), e.Processed(), d
+}
+
+// TestTrainDifferential is the device-layer half of the completion-train
+// proof (cluster's TestDevTrainDifferential is the system-level half): over
+// seeded random workloads the full completion log — every completion's time
+// and identity — must be byte-identical with the train on and off, the
+// elided events must be accounted for exactly in the engine's dispatch
+// count, and the device's own completion ledger must balance.
+func TestTrainDifferential(t *testing.T) {
+	engaged := uint64(0)
+	for seed := int64(0); seed < 20; seed++ {
+		logOff, evOff, dOff := runTrainWorkload(seed, true)
+		logOn, evOn, dOn := runTrainWorkload(seed, false)
+		if logOn != logOff {
+			t.Fatalf("seed %d: completion logs diverged with the train on", seed)
+		}
+		if dOff.FusedCompletions() != 0 {
+			t.Fatalf("seed %d: disabled train fused %d completions", seed, dOff.FusedCompletions())
+		}
+		if evOn+dOn.FusedCompletions() != evOff {
+			t.Fatalf("seed %d: dispatch accounting broken: %d + %d fused != %d",
+				seed, evOn, dOn.FusedCompletions(), evOff)
+		}
+		comps := dOn.Reads() + dOn.Writes() - uint64(dOn.Outstanding())
+		if dOn.ScheduledCompletions()+dOn.FusedCompletions() != comps {
+			t.Fatalf("seed %d: completion ledger broken: %d sched + %d fused != %d completions",
+				seed, dOn.ScheduledCompletions(), dOn.FusedCompletions(), comps)
+		}
+		engaged += dOn.FusedCompletions()
+	}
+	if engaged == 0 {
+		t.Fatal("train never fused a completion across all seeds")
+	}
+}
+
+// TestTrainOpenLoopReduction pins the train's headline win on a
+// persist-heavy open-loop cell: Poisson-ish arrivals each drain a small
+// write-back burst to the device (the flush pattern that dominates NVM
+// traffic under buffering persistency models). Completions then dominate
+// the dispatch mix and successive cars in a burst are adjacent in the
+// timeline, so the train must elide over 15% of all engine dispatches. The
+// cluster-level corners sit below this (see DESIGN.md: device completions
+// are a bounded fraction of cluster dispatches); this cell isolates the
+// storage side, which is exactly what the train optimizes.
+func TestTrainOpenLoopReduction(t *testing.T) {
+	run := func(noTrain bool) (uint64, *Device) {
+		e := sim.New()
+		c := cfg()
+		c.NoTrain = noTrain
+		d := New(e, c)
+		rng := rand.New(rand.NewSource(7))
+		var arrive func()
+		arrivals := 0
+		arrive = func() {
+			const burst = 6
+			for i := 0; i < burst; i++ {
+				d.WriteEvent(rng.Uint64()%4096, nopHandler{}, 0)
+			}
+			if arrivals++; arrivals < 2000 {
+				gap := 200 + rng.Int63n(3600) // ~2 us mean, open loop
+				e.Schedule(gap, arrive)
+			}
+		}
+		e.Schedule(0, arrive)
+		e.RunAll()
+		return e.Processed(), d
+	}
+	evOff, _ := run(true)
+	evOn, d := run(false)
+	if evOn+d.FusedCompletions() != evOff {
+		t.Fatalf("dispatch accounting broken: %d + %d fused != %d", evOn, d.FusedCompletions(), evOff)
+	}
+	reduction := 1 - float64(evOn)/float64(evOff)
+	t.Logf("dispatches %d -> %d (%.1f%% reduction; %d of %d completions fused)",
+		evOff, evOn, 100*reduction, d.FusedCompletions(),
+		d.FusedCompletions()+d.ScheduledCompletions())
+	if reduction < 0.15 {
+		t.Fatalf("train cut %.1f%% of dispatches, want >= 15%% (%d -> %d)",
+			100*reduction, evOff, evOn)
+	}
+}
+
+// TestValidate exercises every rejection in Config.Validate, one bad field
+// at a time.
+func TestValidate(t *testing.T) {
+	good := cfg()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"zero channels", func(c *Config) { c.Channels = 0 }, "Channels"},
+		{"negative channels", func(c *Config) { c.Channels = -2 }, "Channels"},
+		{"zero banks", func(c *Config) { c.Banks = 0 }, "Banks"},
+		{"zero read latency", func(c *Config) { c.ReadLat = 0 }, "ReadLat"},
+		{"negative read latency", func(c *Config) { c.ReadLat = -140 }, "ReadLat"},
+		{"zero write latency", func(c *Config) { c.WriteLat = 0 }, "WriteLat"},
+		{"negative channel bus", func(c *Config) { c.ChannelBus = -8 }, "ChannelBus"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := cfg()
+			tc.mut(&bad)
+			err := bad.Validate()
+			if err == nil {
+				t.Fatal("bad geometry accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name field %s", err, tc.want)
+			}
+			defer func() {
+				if recover() == nil {
+					t.Fatal("New accepted a config Validate rejects")
+				}
+			}()
+			New(sim.New(), bad)
+		})
+	}
+}
+
+// TestDeviceAccessAllocs guards the whole access path — slab record, train
+// car, completion dispatch — at zero steady-state allocations per access.
+func TestDeviceAccessAllocs(t *testing.T) {
+	e := sim.New()
+	d := New(e, cfg())
+	h := nopHandler{}
+	issue := func() {
+		for i := uint64(0); i < 16; i++ {
+			d.WriteEvent(i*31, h, i)
+			d.ReadEvent(i*17, h, i)
+		}
+		e.RunAll()
+	}
+	issue() // warm the slab, train heap, and wheel free lists
+	if avg := testing.AllocsPerRun(50, issue); avg != 0 {
+		t.Fatalf("device access path allocates %.1f times per burst, want 0", avg)
+	}
+}

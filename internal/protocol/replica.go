@@ -198,6 +198,15 @@ type Replica struct {
 	// persC dispatches coalesced write-back completions (see issuePersist).
 	persC persistDone
 
+	// Pooled persist records for the remaining device-write paths — the
+	// NoPersistCoalescing ablation write-back and the transaction-boundary
+	// persistEvent — parked across their NVM access in a freelist-recycled
+	// slab so both issue closure-free (see persist / persistEvent).
+	pev     []pevRec
+	pevFree int32
+	ablC    ablationDone
+	pevC    persistEventDone
+
 	// Read-path records: readFree recycles readOp pipeline records
 	// (ClientRead) and rdone parks finished reads across their memory
 	// latency so readAttempt completes closure-free.
@@ -237,6 +246,65 @@ type dispatchRec struct {
 	from int32
 	next int32 // freelist link
 	p    payload
+}
+
+// pevRec parks one uncoalesced persist across its device write: the stamp
+// the ablation write-back installs (unused by persistEvent) and the caller's
+// completion callback.
+type pevRec struct {
+	key  uint64
+	st   Stamp
+	done func()
+	next int32 // freelist link
+}
+
+// allocPev parks rec in the slab, returning its token.
+func (r *Replica) allocPev(rec pevRec) int32 {
+	ni := r.pevFree
+	if ni >= 0 {
+		r.pevFree = r.pev[ni].next
+		r.pev[ni] = rec
+	} else {
+		r.pev = append(r.pev, rec)
+		ni = int32(len(r.pev) - 1)
+	}
+	return ni
+}
+
+// freePev pops the slab record at tok back onto the freelist.
+func (r *Replica) freePev(tok uint64) pevRec {
+	rec := r.pev[tok]
+	r.pev[tok] = pevRec{next: r.pevFree}
+	r.pevFree = int32(tok)
+	return rec
+}
+
+// ablationDone completes a NoPersistCoalescing device write: install the
+// stamp, wake waiters, fire the callback.
+type ablationDone struct{ r *Replica }
+
+func (a *ablationDone) OnEvent(tok uint64) {
+	r := a.r
+	rec := r.freePev(tok)
+	ks := &r.keys[rec.key]
+	if rec.st > ks.persisted {
+		ks.persisted = rec.st
+		r.img.Put(rec.key, engines.Item{Value: r.sharedVal, Version: uint64(rec.st)})
+	}
+	r.wakePersistWaiters(ks)
+	if rec.done != nil {
+		rec.done()
+	}
+}
+
+// persistEventDone completes a transaction-boundary persist (persistEvent).
+type persistEventDone struct{ r *Replica }
+
+func (p *persistEventDone) OnEvent(tok uint64) {
+	rec := p.r.freePev(tok)
+	if rec.done != nil {
+		rec.done()
+	}
 }
 
 // NewReplica builds the protocol engine for global node id and registers its
@@ -279,6 +347,9 @@ func NewReplica(id int, d Deps) *Replica {
 		dispFree:     -1,
 	}
 	r.persC.r = r
+	r.pevFree = -1
+	r.ablC.r = r
+	r.pevC.r = r
 	r.rdoneFree = -1
 	r.rdoneC.r = r
 	r.vis, r.dur = resolvePolicies(d.Model)
@@ -589,16 +660,8 @@ func (r *Replica) persist(key uint64, st Stamp, done func()) {
 	if r.p.NoPersistCoalescing {
 		// Ablation: one device write per update, no write-back batching.
 		r.M.Persists++
-		r.dev.Write(key, func() {
-			if st > ks.persisted {
-				ks.persisted = st
-				r.img.Put(key, engines.Item{Value: r.sharedVal, Version: uint64(st)})
-			}
-			r.wakePersistWaiters(ks)
-			if done != nil {
-				done()
-			}
-		})
+		ni := r.allocPev(pevRec{key: key, st: st, done: done})
+		r.dev.WriteEvent(key, &r.ablC, uint64(ni))
 		return
 	}
 	if st <= ks.persisted {
@@ -683,7 +746,8 @@ func (r *Replica) writeBackDone(key uint64) {
 // persistEvent persists a non-key protocol event (transaction begin) to NVM.
 func (r *Replica) persistEvent(addr uint64, done func()) {
 	r.M.Persists++
-	r.dev.Write(addr, done)
+	ni := r.allocPev(pevRec{done: done})
+	r.dev.WriteEvent(addr, &r.pevC, uint64(ni))
 }
 
 // wakeConsWaiters resumes reads stalled on consistency validation.

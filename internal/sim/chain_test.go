@@ -1,0 +1,154 @@
+package sim
+
+import "testing"
+
+// TestReserveSeqDispatchOrder proves an event scheduled under a reserved
+// sequence number dispatches at exactly the (time, seq) position it would
+// have occupied had it been scheduled at reservation time — even when
+// younger same-time events entered the scheduler first. Covers the wheel's
+// bucket-chain head-prepend and mid-chain splice paths as well as the heap.
+func TestReserveSeqDispatchOrder(t *testing.T) {
+	for _, sched := range []Scheduler{SchedulerWheel, SchedulerHeap} {
+		e := NewWithScheduler(sched)
+		var order []uint64
+		rec := &orderRecorder{order: &order}
+		e.At(10, func() {
+			r0 := e.ReserveSeq() // before every same-time event: head prepend
+			e.AtEvent(50, rec, 1)
+			r1 := e.ReserveSeq() // between two same-time events: mid splice
+			e.AtEvent(50, rec, 3)
+			e.AtEventSeq(50, r1, rec, 2)
+			e.AtEventSeq(50, r0, rec, 0)
+		})
+		e.RunAll()
+		want := []uint64{0, 1, 2, 3}
+		if len(order) != len(want) {
+			t.Fatalf("%v: ran %d events, want %d", sched, len(order), len(want))
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("%v: reserved-seq dispatch order %v, want %v", sched, order, want)
+			}
+		}
+	}
+}
+
+// TestWheelOverflowStragglerOrdering pins the drain-after-push edge: an old
+// event parked in the overflow level whose bucket a handler has already
+// pushed a younger same-time event into. The drain must splice the old
+// event ahead of the young one, preserving global seq order at that time.
+func TestWheelOverflowStragglerOrdering(t *testing.T) {
+	for _, sched := range []Scheduler{SchedulerWheel, SchedulerHeap} {
+		e := NewWithScheduler(sched)
+		far := int64(wheelSlots + 100)
+		var order []uint64
+		rec := &orderRecorder{order: &order}
+		e.AtEvent(far, rec, 0) // beyond the window at push time: overflow
+		e.At(200, func() {
+			// The window now covers far; this younger event enters its
+			// bucket directly while the old one still sits in overflow.
+			e.AtEvent(far, rec, 1)
+		})
+		e.RunAll()
+		if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+			t.Fatalf("%v: straggler dispatch order %v, want [0 1]", sched, order)
+		}
+	}
+	// The wheel variant must actually have exercised the overflow level.
+	e := New()
+	e.AtEvent(wheelSlots+100, nil, 0)
+	if e.Stats().Overflow != 1 {
+		t.Fatal("far event did not land in the overflow level; coverage assumption broken")
+	}
+}
+
+// chainProbe is a test ChainResolver: it logs its id and runs an optional
+// assertion at resolution time.
+type chainProbe struct {
+	id    int
+	log   *[]int
+	check func()
+}
+
+func (c *chainProbe) OnChain() {
+	if c.check != nil {
+		c.check()
+	}
+	*c.log = append(*c.log, c.id)
+}
+
+// TestChainQueueResolutionOrder proves multiple continuations deferred in
+// one dispatch resolve in ascending (at, registration) order, that a queued
+// entry blocks gap proofs at or past its time exactly like a scheduled
+// event, and that the block lifts entry by entry as the queue drains.
+func TestChainQueueResolutionOrder(t *testing.T) {
+	e := New()
+	var log []int
+	r1 := &chainProbe{id: 1, log: &log}
+	r3 := &chainProbe{id: 3, log: &log}
+	r2 := &chainProbe{id: 2, log: &log, check: func() {
+		if e.TryAdvance(30) {
+			t.Fatal("jumped onto parked chain work at 30")
+		}
+		if !e.TryAdvance(29) {
+			t.Fatal("refused the gap before the parked entries")
+		}
+	}}
+	r1.check = func() {
+		// r3 is still queued at 30.
+		if e.TryAdvance(30) {
+			t.Fatal("jumped onto the remaining entry at 30")
+		}
+	}
+	r3.check = func() {
+		// Queue drained: nothing blocks 30 anymore.
+		if !e.TryAdvance(30) {
+			t.Fatal("refused a clear gap after the queue drained")
+		}
+	}
+	e.At(10, func() {
+		e.SetChain(r1, 30)
+		e.SetChain(r2, 20)
+		e.SetChain(r3, 30)
+		if e.TryAdvance(25) {
+			t.Fatal("jumped over a queued chain entry at 20")
+		}
+		if !e.TryAdvance(19) {
+			t.Fatal("refused the gap before the earliest entry")
+		}
+	})
+	e.Run(100)
+	if len(log) != 3 || log[0] != 2 || log[1] != 1 || log[2] != 3 {
+		t.Fatalf("chain resolution order %v, want [2 1 3]", log)
+	}
+}
+
+// TestChainReRegistration proves OnChain may defer further work — the NVM
+// train's chain-of-completions pattern — and the drain keeps resolving
+// within the same dispatch until the queue is empty.
+func TestChainReRegistration(t *testing.T) {
+	e := New()
+	hops := 0
+	var hopAt []int64
+	var r *chainProbe
+	r = &chainProbe{log: new([]int), check: func() {
+		at := int64(20 + 10*hops)
+		if !e.TryAdvance(at) {
+			t.Fatalf("hop %d: gap to %d not provable", hops, at)
+		}
+		hopAt = append(hopAt, e.Now())
+		if hops++; hops < 4 {
+			e.SetChain(r, int64(20+10*hops))
+		}
+	}}
+	e.At(10, func() { e.SetChain(r, 20) })
+	e.Run(100)
+	if hops != 4 {
+		t.Fatalf("resolved %d chained hops in one dispatch, want 4", hops)
+	}
+	for i, at := range hopAt {
+		if want := int64(20 + 10*i); at != want {
+			t.Fatalf("hop %d ran at %d, want %d (%v)", i, at, want, hopAt)
+		}
+	}
+}

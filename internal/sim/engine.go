@@ -58,15 +58,26 @@ func (e *event) before(o *event) bool {
 }
 
 // ChainResolver is the deferred-continuation hook behind the network layer's
-// send-time arrive elision. A component that wants to run work "at time t"
-// without scheduling an event — but cannot jump the clock because a handler
-// is still executing at the current time — registers itself with SetChain
-// during the dispatch; the engine calls OnChain once the dispatch completes,
-// when a clock jump is safe again. OnChain re-proves the gap itself (via
-// TryAdvance) and falls back to scheduling normally when the proof fails,
-// so deferral never changes a simulated outcome.
+// send-time arrive elision and the NVM completion train. A component that
+// wants to run work "at time t" without scheduling an event — but cannot
+// jump the clock because a handler is still executing at the current time —
+// registers itself with SetChain during the dispatch; the engine calls
+// OnChain once the dispatch completes, when a clock jump is safe again.
+// OnChain re-proves the gap itself (via TryAdvance) and falls back to
+// scheduling normally when the proof fails, so deferral never changes a
+// simulated outcome.
 type ChainResolver interface {
 	OnChain()
+}
+
+// chainEntry is one registered deferred continuation plus the time its
+// parked work would run at. The time makes the parked work visible to gap
+// proofs (TryAdvance refuses to jump at or past it) and orders resolution:
+// entries resolve in ascending (at, registration order), mirroring the
+// dispatch order the parked work would have had as real events.
+type chainEntry struct {
+	c  ChainResolver
+	at int64
 }
 
 // Scheduler selects the engine's pending-event structure.
@@ -134,10 +145,13 @@ type Engine struct {
 	// events (see Ingress).
 	ing *Ingress
 
-	// chain, when non-nil, is resolved after the event in progress returns
-	// (see ChainResolver). dispatching reports whether an event handler is
-	// currently on the stack — deferral is only meaningful mid-dispatch.
-	chain       ChainResolver
+	// chain holds continuations deferred by the event in progress, resolved
+	// after it returns (see ChainResolver). dispatching reports whether an
+	// event handler is currently on the stack — deferral is only meaningful
+	// mid-dispatch. The queue is empty outside dispatchOne's drain; it holds
+	// more than one entry only when independent elision layers defer in the
+	// same dispatch (a unicast send plus a device completion, say).
+	chain       []chainEntry
 	dispatching bool
 
 	useHeap bool
@@ -244,6 +258,26 @@ func (e *Engine) AtEvent(t int64, h Handler, arg uint64) {
 	e.push(event{at: t, seq: e.seq, h: h, arg: arg})
 }
 
+// ReserveSeq allocates and returns the next event sequence number without
+// scheduling anything. An elision layer that may or may not materialize an
+// event later (the NVM completion train) reserves the seq at the point the
+// unelided engine would have scheduled, so every other event's tie-break key
+// is identical whether the elision is on or off; AtEventSeq spends the
+// reservation if the event turns out to be needed.
+func (e *Engine) ReserveSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+// AtEventSeq schedules h.OnEvent(arg) at time t under a sequence number
+// previously obtained from ReserveSeq — the event dispatches at exactly the
+// (t, seq) position a normally-scheduled event would have occupied at
+// reservation time. t must be >= Now(); the caller guarantees it (a
+// completion time never precedes the clock that issued it).
+func (e *Engine) AtEventSeq(t int64, seq uint64, h Handler, arg uint64) {
+	e.push(event{at: t, seq: seq, h: h, arg: arg})
+}
+
 // push hands the event to the active scheduler and tracks the pending
 // high-water mark.
 func (e *Engine) push(ev event) {
@@ -315,6 +349,14 @@ func (e *Engine) TryAdvance(t int64) bool {
 	if e.ing != nil && e.ing.Len() > 0 && e.ing.HeadAt() <= t {
 		return false
 	}
+	// Deferred continuations park work the scheduler cannot see; their
+	// registered times make them count against the gap exactly as the
+	// scheduled events they stand in for would have.
+	for i := range e.chain {
+		if e.chain[i].at <= t {
+			return false
+		}
+	}
 	if t >= e.schedLB {
 		// The lower bound does not prove the gap; probe the real head.
 		head := e.headAt()
@@ -332,22 +374,37 @@ func (e *Engine) TryAdvance(t int64) bool {
 func (e *Engine) Dispatching() bool { return e.dispatching }
 
 // SetChain registers c to be resolved when the event currently being
-// dispatched returns (see ChainResolver). At most one resolver is held; the
-// caller owns the policy of never registering while one is outstanding.
-func (e *Engine) SetChain(c ChainResolver) { e.chain = c }
+// dispatched returns (see ChainResolver), with at the time of the parked
+// work. A component registers at most one entry at a time; independent
+// components may hold entries simultaneously, and resolution order is
+// ascending (at, registration order).
+func (e *Engine) SetChain(c ChainResolver, at int64) {
+	e.chain = append(e.chain, chainEntry{c: c, at: at})
+}
 
 // dispatchOne executes the next event at or before until — the earlier of
 // the scheduler head and the ingress head, arrivals first on ties — then
-// resolves any chained continuation the event deferred, and reports whether
+// resolves any chained continuations the event deferred, and reports whether
 // anything ran.
 func (e *Engine) dispatchOne(until int64) bool {
 	e.dispatching = true
 	ran := e.dispatchNext(until)
 	// Resolve deferred continuations now that no handler is mid-execution:
 	// a clock jump is safe again, and OnChain may itself defer more work.
-	for e.chain != nil {
-		c := e.chain
-		e.chain = nil
+	// Earliest-at first: the parked work must run in the order the events it
+	// stands in for would have dispatched, and resolving a later entry first
+	// would only fail its proof against the earlier one still queued.
+	for len(e.chain) > 0 {
+		mi := 0
+		for i := 1; i < len(e.chain); i++ {
+			if e.chain[i].at < e.chain[mi].at {
+				mi = i
+			}
+		}
+		c := e.chain[mi].c
+		copy(e.chain[mi:], e.chain[mi+1:])
+		e.chain[len(e.chain)-1] = chainEntry{}
+		e.chain = e.chain[:len(e.chain)-1]
 		c.OnChain()
 	}
 	e.dispatching = false

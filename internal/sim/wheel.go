@@ -16,8 +16,10 @@ import "math/bits"
 // recycled, so steady-state scheduling allocates nothing and cold buckets
 // cost 8 bytes, not a slice). Because each bucket spans exactly 1 ns and
 // the window spans wheelSlots ns, a bucket holds events of exactly one
-// timestamp at a time; appending in schedule order therefore keeps every
-// chain sorted by seq, and dispatching buckets in circular order from
+// timestamp at a time; inserts keep every chain sorted by seq (a tail
+// append in the overwhelmingly common ascending case, a walk-splice for
+// reserved-seq and overflow-drain stragglers — see insert), and dispatching
+// buckets in circular order from
 // wnow's cursor replays the exact (time, seq) order the heap would produce
 // — determinism is bit-for-bit unchanged (see
 // TestSchedulerDifferentialRandomized and the golden 5x5 fixture).
@@ -116,8 +118,13 @@ func (w *timingWheel) push(ev event, now int64) {
 	w.overflowEvents++
 }
 
-// insert appends ev to its bucket's chain. Only called with
-// ev.at in [wnow, wnow+wheelSlots).
+// insert places ev into its bucket's chain in seq order. Only called with
+// ev.at in [wnow, wnow+wheelSlots). Pushes arrive in ascending seq almost
+// always, so the common case is a tail append (one tail-seq compare); the
+// walk-splice covers the two producers of out-of-order seqs — reserved-seq
+// events (Engine.AtEventSeq) landing after younger same-time events, and an
+// overflow drain re-bucketing an old event into a bucket a handler already
+// pushed a younger same-time event into.
 func (w *timingWheel) insert(ev event) {
 	slot := int32(ev.at) & wheelMask
 	ni := w.alloc(ev)
@@ -125,10 +132,21 @@ func (w *timingWheel) insert(ev event) {
 		w.head[slot] = ni
 		w.occ[slot>>6] |= 1 << uint(slot&63)
 		w.sum[slot>>12] |= 1 << uint((slot>>6)&63)
-	} else {
+		w.tail[slot] = ni
+	} else if seq := ev.seq; w.nodes[w.tail[slot]].ev.seq < seq {
 		w.nodes[w.tail[slot]].next = ni
+		w.tail[slot] = ni
+	} else if w.nodes[w.head[slot]].ev.seq > seq {
+		w.nodes[ni].next = w.head[slot]
+		w.head[slot] = ni
+	} else {
+		prev := w.head[slot]
+		for w.nodes[w.nodes[prev].next].ev.seq < seq {
+			prev = w.nodes[prev].next
+		}
+		w.nodes[ni].next = w.nodes[prev].next
+		w.nodes[prev].next = ni
 	}
-	w.tail[slot] = ni
 	w.count++
 }
 
@@ -146,8 +164,9 @@ func (w *timingWheel) alloc(ev event) int32 {
 }
 
 // drainOverflow re-buckets every overflow event the window now covers.
-// Popping the overflow heap in (time, seq) order keeps bucket chains
-// seq-sorted.
+// Popping the overflow heap in (time, seq) order keeps the drain itself
+// ordered; insert splices each event past any younger same-time event a
+// handler pushed directly into the window since the last drain.
 func (w *timingWheel) drainOverflow() {
 	for w.overflow.len() > 0 && w.overflow.peek().at-w.wnow < wheelSlots {
 		w.insert(w.overflow.pop())

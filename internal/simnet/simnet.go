@@ -531,7 +531,7 @@ func (n *Network) Send(msg Message) {
 			// being scheduled. OnChain falls back to this same ingress
 			// push when it fails.
 			n.def = deferredSend{d: d, at: arrive, seq: seq, lane: int32(lane)}
-			eng.SetChain(n)
+			eng.SetChain(n, arrive)
 			return
 		}
 	}
