@@ -21,8 +21,11 @@ test:
 # differential, and the capacity/scaling smokes run explicitly on top: the
 # fast path elides events, the fan-out fusion layer elides broadcast and
 # send-time arrive hops, the NVM completion trains elide device completion
-# events (on both engines), and the sharded topology re-routes client ops
-# across replica groups, so their equivalence proofs are gate-level. The
+# events (on both engines), the sharded topology re-routes client ops
+# across replica groups, and the skew-adaptive routing policies (load
+# placement, replica reads, batched forwarding) re-place coordinators from
+# sender-local state, so their equivalence proofs are gate-level (fwdbatch=0
+# byte-identity rides on the goldens and TestShard1MatchesDirect). The
 # fan-out and completion-train benchmarks run one iteration as smokes
 # against bit-rot.
 check: vet
@@ -32,10 +35,13 @@ check: vet
 	$(GO) test -race ./internal/cluster/ -run 'TestDevTrainDifferential|TestDevTrainEventReduction'
 	$(GO) test -race ./internal/nvm/ -run 'TestTrainDifferential|TestTrainOpenLoopReduction'
 	$(GO) test -race ./internal/cluster/ -run 'TestSharded'
+	$(GO) test -race ./internal/cluster/ -run 'TestHotSketchGoldenSeed|TestP2CSpreadDeterministic'
 	$(GO) test -run='^$$' -bench BenchmarkBroadcastFanout -benchtime=1x .
 	$(GO) test -run='^$$' -bench BenchmarkNVMCompletionTrain -benchtime=1x .
 	$(GO) run ./cmd/ddpbench -exp capacity -quick > /dev/null
+	$(GO) run ./cmd/ddpbench -exp capacity -quick -shards 4 > /dev/null
 	$(GO) run ./cmd/ddpbench -exp scaling -quick > /dev/null
+	$(GO) run ./cmd/ddpbench -exp scaling -quick -placement load > /dev/null
 
 # One testing.B benchmark per paper table/figure plus engine micro-benches.
 bench:

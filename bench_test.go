@@ -119,6 +119,90 @@ func BenchmarkShardedCell(b *testing.B) {
 	}
 }
 
+// groupImbalance mirrors the harness metric: max/mean executed ops across
+// the replicas of the busiest shard's group — the coordinator concentration
+// that load-aware placement and replica reads attack.
+func groupImbalance(r *cluster.Result, rf int) float64 {
+	hot := 0
+	for s, n := range r.ShardOps {
+		if n > r.ShardOps[hot] {
+			hot = s
+		}
+	}
+	var sum, max uint64
+	for _, n := range r.NodeOps[hot*rf : hot*rf+rf] {
+		sum += n
+		if n > max {
+			max = n
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max) * float64(rf) / float64(sum)
+}
+
+// BenchmarkSkewedShardedCell measures the skew-adaptive routing ablation on a
+// 16-shard, rf=3 cell under heavy zipfian key popularity (theta=0.999):
+// fixed-hash coordinator placement against load-aware spreading on a strict
+// corner, plus least-loaded replica reads and batched forwarding on the
+// weak-visibility corner. Shard totals are fixed by data ownership, so the
+// metrics that move are throughput and the node/group imbalances.
+// results/BENCH_skew.json records a measured set of points.
+func BenchmarkSkewedShardedCell(b *testing.B) {
+	p := params.Default()
+	p.Servers = 48 // 16 shards x rf=3
+	p.ClientsPerServer = 2
+	p.ZipfTheta = 0.999
+	base := cluster.Config{
+		Workload:  ycsb.WorkloadA,
+		Params:    p,
+		Shards:    16,
+		Seed:      1,
+		WarmupNs:  500_000,
+		MeasureNs: 2_000_000,
+	}
+	lin := core.Model{C: core.Linearizable, P: core.Strict}
+	ev := core.Model{C: core.Eventual, P: core.EventualP}
+	variants := []struct {
+		name  string
+		model core.Model
+		mut   func(*cluster.Config)
+	}{
+		{"lin-strict/hash", lin, func(*cluster.Config) {}},
+		{"lin-strict/load", lin, func(c *cluster.Config) { c.Placement = "load" }},
+		{"ev-ev/hash", ev, func(*cluster.Config) {}},
+		{"ev-ev/load", ev, func(c *cluster.Config) { c.Placement = "load" }},
+		{"ev-ev/load+rr", ev, func(c *cluster.Config) {
+			c.Placement = "load"
+			c.ReplicaReads = true
+		}},
+		{"ev-ev/load+rr/fwdbatch=8", ev, func(c *cluster.Config) {
+			c.Placement = "load"
+			c.ReplicaReads = true
+			c.FwdBatch = 8
+		}},
+	}
+	for _, v := range variants {
+		cfg := base
+		cfg.Model = v.model
+		v.mut(&cfg)
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := cluster.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(r.Throughput()/1e6, "Mops/sim-s")
+					b.ReportMetric(groupImbalance(r, 3), "group-imb")
+					b.ReportMetric(float64(r.NetMessages), "msgs")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable1 regenerates the Section 3 motivation experiment
 // (paper: normalized throughput 1 / 1.32 / 4.08).
 func BenchmarkTable1(b *testing.B) {

@@ -38,6 +38,9 @@ func main() {
 	shards := flag.Int("shards", 0, "partition the keyspace across this many replica groups behind a consistent-hash ring (0 = the paper's single flat group)")
 	nodes := flag.Int("nodes", 0, "total simulated server nodes (0 = paper default; must equal shards*rf when both are set)")
 	rf := flag.Int("rf", 0, "replicas per shard; with -shards, sets nodes = shards*rf (0 = keep the default group size)")
+	placement := flag.String("placement", "hash", "sharded placement policy: hash (fixed per-key coordinator) or load (power-of-two-choices spreading of sketch-detected hot keys)")
+	replicareads := flag.Bool("replicareads", false, "route sharded reads to the least-loaded owning replica (weak-visibility models only; model sweeps apply it to their weak-visibility cells)")
+	fwdbatch := flag.Int("fwdbatch", 0, "coalesce routed ops per destination into multi-op messages of up to this many ops (0 = unbatched, byte-identical to the classic router)")
 	engine := flag.String("engine", "", "kv engine: hashtable, map, btree, bplustree, memcache, walstore (default hashtable)")
 	csvOut := flag.Bool("csv", false, "emit tidy CSV instead of text (fig6/fig7/fig8/fig9/durability/capacity)")
 	parallel := flag.Int("parallel", 0, "experiment cells to run concurrently (0 = all cores, 1 = sequential; never changes results)")
@@ -91,6 +94,23 @@ func main() {
 	case *rf > 0:
 		o.Params.Servers = *rf
 	}
+
+	// Skew-adaptive routing flags (cluster.Config validates them per cell:
+	// load placement, replica reads, and batching all need a sharded
+	// topology, and replica reads a weak-visibility model).
+	if *placement != "hash" && *placement != "load" {
+		fmt.Fprintf(os.Stderr, "ddpbench: -placement %q: want hash or load\n", *placement)
+		os.Exit(1)
+	}
+	if *placement != "hash" {
+		o.Placement = *placement
+	}
+	o.ReplicaReads = *replicareads
+	if *fwdbatch < 0 {
+		fmt.Fprintln(os.Stderr, "ddpbench: -fwdbatch must be >= 0")
+		os.Exit(1)
+	}
+	o.FwdBatch = *fwdbatch
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

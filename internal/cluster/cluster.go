@@ -55,6 +55,36 @@ type Config struct {
 	// would span shards.
 	Shards int
 
+	// Placement selects how the router picks the executing node inside a
+	// key's owning replica group (Shards >= 1 only): "hash" (the default,
+	// also "") uses a fixed second hash of the key, so every op on a key
+	// lands on the same coordinator; "load" spreads keys a space-saving
+	// sketch flags as hot over the group by deterministic
+	// power-of-two-choices on the router's own sent-op counters
+	// (loadtrack.go). All state is sender-local, so placement stays
+	// byte-identical across engines and LP worker counts.
+	Placement string
+
+	// ReplicaReads routes read and scan ops to the least-loaded replica of
+	// the owning group instead of the key's coordinator (Shards >= 1 only).
+	// Legal only for weak visibility models (Causal/Eventual consistency),
+	// where any replica may serve a read locally without the INV/ACK/VAL
+	// round; strict-visibility models are rejected by Validate.
+	ReplicaReads bool
+
+	// FwdBatch > 0 coalesces routed requests and responses headed to the
+	// same destination into one multi-op message of up to FwdBatch ops
+	// (doorbell batching, fwdbatch.go), amortizing the message header and
+	// the per-message handling charge. Changes modeled timing only, never
+	// op outcomes. 0 (the default) sends every routed op as its own
+	// message, byte-identical to the unbatched router.
+	FwdBatch int
+
+	// FwdWindowNs bounds how long a partial forwarding batch waits for
+	// company before its doorbell flushes it. 0 with FwdBatch > 0 defaults
+	// to the one-way network latency.
+	FwdWindowNs int64
+
 	// WarmupNs and MeasureNs bound the run in simulated time.
 	// Zero values take the defaults (1 ms warmup, 5 ms measurement).
 	WarmupNs  int64
@@ -126,6 +156,12 @@ func (c Config) withDefaults() Config {
 	if c.Params.Servers == 0 {
 		c.Params = params.Default()
 	}
+	if c.FwdBatch > 0 && c.FwdWindowNs == 0 {
+		c.FwdWindowNs = c.Params.OneWayNet()
+		if c.FwdWindowNs < 1 {
+			c.FwdWindowNs = 1
+		}
+	}
 	return c
 }
 
@@ -192,9 +228,13 @@ type Result struct {
 	// Sharded routing accounting (Config.Shards >= 1 runs only): ops
 	// forwarded to a remote shard during the measurement window, and ops
 	// executed by each shard (issued locally or forwarded in) — the
-	// hot-shard studies read their imbalance off ShardOps.
+	// hot-shard studies read their imbalance off ShardOps. NodeOps is the
+	// same count per global node: placement policies move execution
+	// *within* a group, which only node granularity can see (shard totals
+	// are fixed by data ownership).
 	Routed   uint64
 	ShardOps []uint64
+	NodeOps  []uint64
 
 	SimTimeNs int64
 	Events    uint64
@@ -343,9 +383,9 @@ func (cfg Config) netConfig() simnet.Config {
 		Seed:       cfg.Seed,
 		NoFastPath: cfg.NoNICFastPath,
 		// The cluster's message-kind space is the protocol kinds plus the
-		// two routing kinds above them; sizing the per-kind counters here
+		// routing kinds above them; sizing the per-kind counters here
 		// keeps the send hot path growth-free.
-		MaxKind:        kindRouteResp,
+		MaxKind:        kindRouteBatch,
 		NoFanoutFusion: cfg.NoFanoutFusion,
 	}
 	if cfg.Shards > 1 && p.CrossShardRT != 0 {
@@ -404,6 +444,32 @@ func (cfg Config) Validate() error {
 		if p.Groups > 1 {
 			return fmt.Errorf("cluster: hybrid consistency groups do not combine with Shards > 1 (each shard already scopes its group)")
 		}
+	}
+	switch cfg.Placement {
+	case "", "hash", "load":
+	default:
+		return fmt.Errorf("cluster: unknown Placement %q (want \"hash\" or \"load\")", cfg.Placement)
+	}
+	if cfg.Placement == "load" && cfg.Shards < 1 {
+		return fmt.Errorf("cluster: Placement \"load\" requires a sharded topology (Shards >= 1)")
+	}
+	if cfg.ReplicaReads {
+		if cfg.Shards < 1 {
+			return fmt.Errorf("cluster: ReplicaReads requires a sharded topology (Shards >= 1)")
+		}
+		if core.UsesInvAckVal(cfg.Model.C) {
+			return fmt.Errorf("cluster: ReplicaReads requires a weak visibility model (Causal or Eventual consistency); %s reads must go through the key's coordinator", cfg.Model.C)
+		}
+	}
+	switch {
+	case cfg.FwdBatch < 0:
+		return fmt.Errorf("cluster: FwdBatch must be >= 0, got %d", cfg.FwdBatch)
+	case cfg.FwdBatch > 0 && cfg.Shards < 1:
+		return fmt.Errorf("cluster: FwdBatch requires a sharded topology (Shards >= 1)")
+	case cfg.FwdWindowNs < 0:
+		return fmt.Errorf("cluster: FwdWindowNs must be >= 0, got %d", cfg.FwdWindowNs)
+	case cfg.FwdWindowNs > 0 && cfg.FwdBatch == 0:
+		return fmt.Errorf("cluster: FwdWindowNs only applies with FwdBatch > 0")
 	}
 	if err := cfg.netConfig().Validate(); err != nil {
 		return err
@@ -506,8 +572,17 @@ func New(cfg Config) (*Cluster, error) {
 		// Client routers share each node's NIC with protocol traffic: a
 		// per-node demultiplexer replaces the handler NewReplica registered,
 		// splitting on the routing kinds' dedicated range.
+		needLT := cfg.Placement == "load" || cfg.ReplicaReads
 		for i := 0; i < p.Servers; i++ {
 			rt := newRouter(c, c.ring, c.nodes[i], c.Replicas[i], net, c.Workers[i], i)
+			if needLT {
+				rt.lt = newLoadTracker(p.Servers)
+				rt.loadPlace = cfg.Placement == "load"
+				rt.rreads = cfg.ReplicaReads
+			}
+			if cfg.FwdBatch > 0 {
+				rt.fb = newFwdBatcher(rt, cfg.FwdBatch, cfg.FwdWindowNs)
+			}
 			c.routers = append(c.routers, rt)
 			rep := c.Replicas[i]
 			net.Register(i, func(m simnet.Message) {
@@ -646,9 +721,11 @@ func (c *Cluster) Collect(window int64, wall time.Duration) *Result {
 	}
 	if c.ring != nil {
 		res.ShardOps = make([]uint64, c.ring.shards)
+		res.NodeOps = make([]uint64, len(c.routers))
 		for _, rt := range c.routers {
 			res.Routed += rt.fwdOps
 			res.ShardOps[rt.shard] += rt.localOps + rt.execOps
+			res.NodeOps[rt.node] = rt.localOps + rt.execOps
 		}
 	}
 	n := float64(len(c.Replicas))

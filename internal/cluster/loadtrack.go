@@ -1,0 +1,133 @@
+package cluster
+
+// loadtrack.go is the router's skew-adaptive placement state: a space-saving
+// top-k sketch that spots hot keys in this node's own op stream, per-node
+// sent-op counters, and the two policies built on them — power-of-two-choices
+// coordinator spreading (Config.Placement == "load") and least-loaded replica
+// reads for weak-visibility models (Config.ReplicaReads).
+//
+// Everything here is sender-local: each router owns one loadTracker, feeds it
+// only from operations issued at its own node, and reads it only while that
+// node's logical process is dispatching. No state is shared across nodes, so
+// placement decisions are a pure function of the node's own deterministic op
+// stream — byte-identical across the sequential and LP engines at any worker
+// count, which the sharded differentials pin.
+
+const (
+	// hotSketchK is the sketch capacity: the router tracks its k most
+	// frequent keys and treats a key as hot when its guaranteed share of the
+	// stream reaches 1/k. 16 comfortably covers the handful of keys that
+	// dominate a theta=0.999 zipfian while keeping the lookup one short
+	// linear scan over two cache lines.
+	hotSketchK = 16
+
+	// hotWarmup is how many ops a router must observe before any key counts
+	// as hot, so the first few ops of a run never trigger spreading off a
+	// meaningless share estimate.
+	hotWarmup = 64
+)
+
+// ssEntry is one tracked key in the space-saving sketch.
+type ssEntry struct {
+	key uint64
+	cnt uint32 // estimated occurrences (inherits the evicted minimum)
+	err uint32 // overestimation bound inherited at replacement
+}
+
+// hotSketch is a space-saving top-k frequency sketch (Metwally et al.): a
+// fixed set of k counters where an unseen key replaces the current minimum
+// and inherits its count as error bound. cnt-err is a guaranteed lower bound
+// on the key's true frequency, which makes the hot test conservative — a key
+// only spreads once it provably dominates the stream.
+type hotSketch struct {
+	e []ssEntry // len grows to cap (hotSketchK), then replaces minima
+	n uint64    // total keys fed
+}
+
+// note feeds one key and returns its updated estimated count plus whether
+// the key currently qualifies as hot. Zero-alloc: the entry array is sized
+// at construction and scanned in place.
+func (s *hotSketch) note(key uint64) (uint32, bool) {
+	s.n++
+	for i := range s.e {
+		if s.e[i].key == key {
+			s.e[i].cnt++
+			return s.e[i].cnt, s.hot(&s.e[i])
+		}
+	}
+	if len(s.e) < cap(s.e) {
+		s.e = append(s.e, ssEntry{key: key, cnt: 1})
+		return 1, s.hot(&s.e[len(s.e)-1])
+	}
+	// Replace the minimum; the first minimum in scan order wins so the
+	// eviction choice is deterministic.
+	mi := 0
+	for i := 1; i < len(s.e); i++ {
+		if s.e[i].cnt < s.e[mi].cnt {
+			mi = i
+		}
+	}
+	e := &s.e[mi]
+	e.key, e.err, e.cnt = key, e.cnt, e.cnt+1
+	return e.cnt, s.hot(e)
+}
+
+// hot reports whether entry e's guaranteed share of the stream has reached
+// 1/k (after warmup).
+func (s *hotSketch) hot(e *ssEntry) bool {
+	if s.n < hotWarmup {
+		return false
+	}
+	return uint64(e.cnt-e.err)*uint64(cap(s.e)) >= s.n
+}
+
+// loadTracker is one router's placement state.
+type loadTracker struct {
+	sk   hotSketch
+	sent []uint32 // per global node: ops this router directed there
+}
+
+func newLoadTracker(servers int) *loadTracker {
+	return &loadTracker{
+		sk:   hotSketch{e: make([]ssEntry, 0, hotSketchK)},
+		sent: make([]uint32, servers),
+	}
+}
+
+// count charges one op against the node the router placed it on. Called for
+// every placement decision — local, hashed, spread, or replica read — so the
+// counters reflect the router's full directed load.
+func (lt *loadTracker) count(node int) { lt.sent[node]++ }
+
+// spread picks the executor for key within the owning group [base, base+rf):
+// cold keys keep hashPick (the ring's fixed hash coordinator); hot keys pick
+// the less-loaded of two candidates whose identities rotate with the key's
+// observed count, so a single dominant key walks its coordinator role across
+// the whole group instead of hammering one hash-chosen node. Ties go to the
+// first candidate, keeping the choice a deterministic function of
+// (key, sketch state, counters).
+func (lt *loadTracker) spread(key uint64, base, rf, hashPick int) int {
+	cnt, hot := lt.sk.note(key)
+	if !hot || rf < 2 {
+		return hashPick
+	}
+	h := mix64(key ^ uint64(cnt)*coordSalt)
+	c1 := base + int(h%uint64(rf))
+	c2 := base + int((h>>32)%uint64(rf))
+	if lt.sent[c2] < lt.sent[c1] {
+		return c2
+	}
+	return c1
+}
+
+// leastLoaded returns the group replica this router has sent the fewest ops
+// to, breaking ties toward the lowest node ID.
+func (lt *loadTracker) leastLoaded(base, rf int) int {
+	best := base
+	for n := base + 1; n < base+rf; n++ {
+		if lt.sent[n] < lt.sent[best] {
+			best = n
+		}
+	}
+	return best
+}

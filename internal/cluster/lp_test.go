@@ -31,11 +31,19 @@ func equivalentResults(t *testing.T, label string, seq, lp *Result) {
 		BufferPeak     int
 		SimTimeNs      int64
 		Events         uint64
+		Routed         uint64
+		ShardOps       interface{}
+		NodeOps        interface{}
 		Writes         interface{}
 		Reads          interface{}
 	}
+	// Shard accounting exists only on sharded runs; the shards=0 vs shards=1
+	// identity proof compares two topologies whose accounting shapes differ
+	// by design (and asserts the routed side's shape itself), so ShardOps
+	// and NodeOps are compared only between runs of the same shard count.
+	cmpShards := seq.Config.Shards == lp.Config.Shards
 	project := func(r *Result) comparable {
-		return comparable{
+		c := comparable{
 			Summary:        r.Summary,
 			ReadHist:       r.ReadHist,
 			WriteHist:      r.WriteHist,
@@ -49,9 +57,16 @@ func equivalentResults(t *testing.T, label string, seq, lp *Result) {
 			BufferPeak:     r.BufferPeak,
 			SimTimeNs:      r.SimTimeNs,
 			Events:         r.Events,
+			Routed:         r.Routed,
+			ShardOps:       r.ShardOps,
+			NodeOps:        r.NodeOps,
 			Writes:         r.Writes,
 			Reads:          r.Reads,
 		}
+		if !cmpShards {
+			c.ShardOps, c.NodeOps = nil, nil
+		}
+		return c
 	}
 	s, l := project(seq), project(lp)
 	if !reflect.DeepEqual(s, l) {

@@ -10,10 +10,18 @@ import (
 // (Config.Shards >= 1). Every client operation consults the consistent-hash
 // ring: a key owned by the issuing node's own shard executes on the local
 // replica exactly as in the unsharded cluster, and a key owned elsewhere is
-// forwarded over simnet to a coordinator inside the owning shard, which runs
+// forwarded over simnet to an executor inside the owning shard, which runs
 // the operation on its replica group and sends the result back.
 //
-// Forwarding rides the simulated network on two dedicated message kinds that
+// Which group member executes a forwarded op is a pluggable placement
+// policy (place): the default fixed hash coordinator, power-of-two-choices
+// spreading for sketch-detected hot keys (Config.Placement == "load",
+// loadtrack.go), or the least-loaded replica for reads under weak
+// visibility models (Config.ReplicaReads). Forwarded traffic can further
+// coalesce per destination into multi-op doorbell batches
+// (Config.FwdBatch > 0, fwdbatch.go).
+//
+// Forwarding rides the simulated network on dedicated message kinds that
 // share each node's NIC with protocol traffic; a per-node demultiplexer
 // (cluster.New) splits them. Because the request, its execution, and its
 // response are all ordinary simnet messages and engine events, routing
@@ -48,6 +56,7 @@ const (
 type routedOp struct {
 	rt      *router // router currently holding the record (set on each hop)
 	kind    uint8
+	resp    bool // batched-mode direction flag: record carries a response
 	key     uint64
 	scanLen int
 	origin  int32 // global node ID to send the response to
@@ -103,14 +112,19 @@ func (op *routedOp) exec() {
 // respond sends the completed operation's result back to its origin node.
 func (op *routedOp) respond() {
 	rt := op.rt
-	size := rt.cl.Cfg.Params.MsgHeaderSize
+	body := 0
 	if op.kind == routeRead || op.kind == routeScan {
-		size += rt.cl.Cfg.Params.ValueSize // the value rides the response
+		body = rt.cl.Cfg.Params.ValueSize // the value rides the response
+	}
+	if rt.fb != nil {
+		op.resp = true
+		rt.fb.add(op, int(op.origin), 16+body) // stamp/count + value
+		return
 	}
 	rt.net.Send(simnet.Message{
 		From:    rt.node,
 		To:      int(op.origin),
-		Size:    size,
+		Size:    rt.cl.Cfg.Params.MsgHeaderSize + body,
 		Kind:    kindRouteResp,
 		Payload: op,
 	})
@@ -144,6 +158,15 @@ type router struct {
 	work  *sim.Pool
 	node  int // global node ID
 	shard int // the shard this node belongs to
+
+	// Skew-adaptive placement state (nil/false under the default fixed-hash
+	// policy): the hot-key sketch + counters, and which policies are on.
+	lt        *loadTracker
+	loadPlace bool // Config.Placement == "load"
+	rreads    bool // Config.ReplicaReads
+
+	// Forwarding batcher (nil when Config.FwdBatch == 0).
+	fb *fwdBatcher
 
 	free *routedOp
 
@@ -187,7 +210,8 @@ func (rt *router) prewarm(n int) {
 	}
 }
 
-// forward ships one operation to the owning shard's coordinator for key.
+// forward ships one operation to the executor the placement policy picked
+// inside the owning shard.
 func (rt *router) forward(kind uint8, key uint64, scanLen, to int, done func(protocol.Stamp), doneScan func(int)) {
 	if rt.ns.measuring {
 		rt.fwdOps++
@@ -202,14 +226,18 @@ func (rt *router) forward(kind uint8, key uint64, scanLen, to int, done func(pro
 	op.count = 0
 	op.done = done
 	op.doneScan = doneScan
-	size := rt.cl.Cfg.Params.MsgHeaderSize + 16 // key + op metadata
+	body := 16 // key + op metadata
 	if kind == routeWrite || kind == routeRMW {
-		size += rt.cl.Cfg.Params.ValueSize // the new value rides the request
+		body += rt.cl.Cfg.Params.ValueSize // the new value rides the request
+	}
+	if rt.fb != nil {
+		rt.fb.add(op, to, body)
+		return
 	}
 	rt.net.Send(simnet.Message{
 		From:    rt.node,
 		To:      to,
-		Size:    size,
+		Size:    rt.cl.Cfg.Params.MsgHeaderSize + body,
 		Kind:    kindRouteReq,
 		Payload: op,
 	})
@@ -219,6 +247,14 @@ func (rt *router) forward(kind uint8, key uint64, scanLen, to int, done func(pro
 // (on the executor) or a completed result (back at the origin). Either way
 // the handling cost is charged to a worker, mirroring protocol messages.
 func (rt *router) onMessage(m simnet.Message) {
+	if m.Kind == kindRouteBatch {
+		// One worker charge for the whole batch — the amortization the
+		// doorbell buys; the batch fans its entries out itself.
+		b := m.Payload.(*fwdBatch)
+		b.rt = rt
+		rt.work.AcquireEvent(rt.cl.Cfg.Params.MessageHandle, b, 0)
+		return
+	}
 	op := m.Payload.(*routedOp)
 	op.rt = rt
 	arg := uint64(routeExec)
@@ -228,9 +264,38 @@ func (rt *router) onMessage(m simnet.Message) {
 	rt.work.AcquireEvent(rt.cl.Cfg.Params.MessageHandle, op, arg)
 }
 
-// read routes one client read issued at this node.
+// place resolves one client op: the shard owning key and, when that is not
+// this node's shard, the executor node the placement policy picks inside the
+// owning group. With no load tracker (the default) it is exactly the ring's
+// fixed-hash route. read selects replica-read spreading when enabled.
+func (rt *router) place(key uint64, read bool) (shard, to int) {
+	if rt.lt == nil {
+		return rt.ring.route(key)
+	}
+	shard = rt.ring.owner(key)
+	if shard == rt.shard {
+		// Local execution: charge this node so the counters see the
+		// router's full directed load.
+		rt.lt.count(rt.node)
+		return shard, rt.node
+	}
+	base := shard * rt.ring.rf
+	switch {
+	case read && rt.rreads:
+		to = rt.lt.leastLoaded(base, rt.ring.rf)
+	case rt.loadPlace:
+		to = rt.lt.spread(key, base, rt.ring.rf, rt.ring.coordinator(key, shard))
+	default:
+		to = rt.ring.coordinator(key, shard)
+	}
+	rt.lt.count(to)
+	return shard, to
+}
+
+// read routes one client read issued at this node. Reads (and scans) are the
+// ops replica-read spreading may redirect to a non-coordinator replica.
 func (rt *router) read(key uint64, done func(protocol.Stamp)) {
-	shard, to := rt.ring.route(key)
+	shard, to := rt.place(key, true)
 	if shard == rt.shard {
 		if rt.ns.measuring {
 			rt.localOps++
@@ -245,7 +310,7 @@ func (rt *router) read(key uint64, done func(protocol.Stamp)) {
 // persistency, which a multi-shard cluster rejects — so forwarded writes
 // never carry one.
 func (rt *router) write(key uint64, scope uint64, done func(protocol.Stamp)) {
-	shard, to := rt.ring.route(key)
+	shard, to := rt.place(key, false)
 	if shard == rt.shard {
 		if rt.ns.measuring {
 			rt.localOps++
@@ -258,7 +323,7 @@ func (rt *router) write(key uint64, scope uint64, done func(protocol.Stamp)) {
 
 // rmw routes one client read-modify-write.
 func (rt *router) rmw(key uint64, scope uint64, done func(protocol.Stamp)) {
-	shard, to := rt.ring.route(key)
+	shard, to := rt.place(key, false)
 	if shard == rt.shard {
 		if rt.ns.measuring {
 			rt.localOps++
@@ -272,7 +337,7 @@ func (rt *router) rmw(key uint64, scope uint64, done func(protocol.Stamp)) {
 // scan routes one client scan. A scan runs entirely in the shard owning its
 // start key (each shard's replica group holds that shard's keys).
 func (rt *router) scan(key uint64, maxLen int, done func(int)) {
-	shard, to := rt.ring.route(key)
+	shard, to := rt.place(key, true)
 	if shard == rt.shard {
 		if rt.ns.measuring {
 			rt.localOps++

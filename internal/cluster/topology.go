@@ -5,9 +5,12 @@ import "sort"
 // topology.go implements the sharded keyspace's placement layer: a
 // consistent-hash ring (DDIA module 06's partitioning-by-hash shape) mapping
 // every key to the shard that owns it. Each shard is a contiguous block of
-// rf global node IDs running its own replica group (protocol.Membership);
-// the ring decides ownership, and a second hash picks the coordinator node
-// within the owning group so forwarded load spreads across its replicas.
+// rf global node IDs running its own replica group (protocol.Membership).
+// The ring decides ownership only; which group member executes a forwarded
+// op is the router's pluggable placement policy (route.go) — the default
+// fixed hash coordinator below, power-of-two-choices spreading for hot keys
+// under Config.Placement == "load", or the least-loaded replica for reads
+// under Config.ReplicaReads (loadtrack.go).
 //
 // Placement is fully deterministic — vnode positions are pure hashes of
 // (shard, vnode), never drawn from an RNG — so every engine wiring and
@@ -94,15 +97,25 @@ func (r *ring) owner(key uint64) int {
 	return int(r.own[lo])
 }
 
-// route returns the shard owning key and the global node ID of the key's
-// coordinator within that shard. The coordinator is an independent hash of
-// the key so forwarded traffic spreads over the owning group's replicas
-// (any Hermes replica can coordinate any request). Callers inside the
-// owning shard coordinate locally instead and never use the node result.
+// coordSalt decorrelates the coordinator hash from the ownership hash so the
+// two picks are independent.
+const coordSalt = 0x9e3779b97f4a7c15
+
+// coordinator returns the key's fixed hash-picked coordinator node within
+// shard: an independent hash of the key, so forwarded traffic spreads over
+// the owning group's replicas in aggregate (any Hermes replica can
+// coordinate any request). This is the "hash" placement policy — one fixed
+// node per key, which is exactly what concentrates a zipfian hot key.
+func (r *ring) coordinator(key uint64, shard int) int {
+	return shard*r.rf + int(mix64(key^coordSalt)%uint64(r.rf))
+}
+
+// route returns the shard owning key and the key's fixed hash coordinator
+// within it — the default placement. Callers inside the owning shard
+// coordinate locally instead and never use the node result.
 func (r *ring) route(key uint64) (shard, node int) {
 	shard = r.owner(key)
-	node = shard*r.rf + int(mix64(key^0x9e3779b97f4a7c15)%uint64(r.rf))
-	return shard, node
+	return shard, r.coordinator(key, shard)
 }
 
 // shardOf returns the shard that global node id belongs to.

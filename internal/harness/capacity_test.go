@@ -95,3 +95,41 @@ func TestCapacityRenderings(t *testing.T) {
 		t.Fatalf("csv storm rows = %d, want 4", storms)
 	}
 }
+
+// TestCapacityShardedSmoke runs the open-loop capacity sweep over a sharded
+// topology — the ROADMAP item 1 extension this PR closes: open-loop sources
+// issue through the per-node routers, so every offered-load cell forwards
+// cross-shard traffic for all four corner models.
+func TestCapacityShardedSmoke(t *testing.T) {
+	o := quick()
+	o.Shards = 4
+	o.Params.Servers = 12 // 4 shards x rf 3
+	o.Params.ClientsPerServer = 2
+	o.Params.Keys = 128
+	o.WarmupNs = 100_000
+	o.MeasureNs = 300_000
+	r, err := Capacity(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Curves) != 4 {
+		t.Fatalf("curves = %d, want 4 corner models", len(r.Curves))
+	}
+	for _, c := range r.Curves {
+		if c.Closed.Routed == 0 {
+			t.Fatalf("%s: sharded closed-loop anchor forwarded nothing", c.Model)
+		}
+		for j := range c.Points {
+			p := &c.Points[j]
+			if p.Res.Offered == 0 {
+				t.Fatalf("%s frac %.2f: no arrivals", c.Model, p.Frac)
+			}
+			if p.Res.Routed == 0 {
+				t.Fatalf("%s frac %.2f: open-loop sharded cell forwarded nothing", c.Model, p.Frac)
+			}
+			if len(p.Res.ShardOps) != 4 {
+				t.Fatalf("%s frac %.2f: ShardOps = %v, want 4 shards", c.Model, p.Frac, p.Res.ShardOps)
+			}
+		}
+	}
+}

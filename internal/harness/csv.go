@@ -151,8 +151,9 @@ func (r *ScalingResult) WriteCSV(w io.Writer) error {
 	defer cw.Flush()
 	if err := cw.Write([]string{
 		"consistency", "persistency", "phase", "shards", "nodes", "rf", "theta",
+		"placement", "replica_reads",
 		"throughput_ops", "p95_read_ns", "p95_write_ns",
-		"routed_frac", "shard_imbalance",
+		"routed_frac", "shard_imbalance", "node_imbalance", "group_imbalance",
 	}); err != nil {
 		return err
 	}
@@ -162,14 +163,21 @@ func (r *ScalingResult) WriteCSV(w io.Writer) error {
 		for _, n := range res.ShardOps {
 			total += n
 		}
+		placement := res.Config.Placement
+		if placement == "" {
+			placement = "hash"
+		}
 		return cw.Write([]string{
 			m.C.String(), m.P.String(), phase,
 			strconv.Itoa(shards), strconv.Itoa(shards * r.RF), strconv.Itoa(r.RF),
 			strconv.FormatFloat(theta, 'g', -1, 64),
+			placement, strconv.FormatBool(res.Config.ReplicaReads),
 			strconv.FormatFloat(s.Throughput, 'g', -1, 64),
 			strconv.FormatInt(s.P95Read, 10), strconv.FormatInt(s.P95Write, 10),
 			strconv.FormatFloat(ratio(float64(res.Routed), float64(total)), 'g', -1, 64),
 			strconv.FormatFloat(shardImbalance(res), 'g', -1, 64),
+			strconv.FormatFloat(nodeImbalance(res), 'g', -1, 64),
+			strconv.FormatFloat(groupImbalance(res, r.RF), 'g', -1, 64),
 		})
 	}
 	for _, c := range r.Curves {

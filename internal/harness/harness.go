@@ -82,6 +82,25 @@ type Options struct {
 	// by ddpbench's -shards/-nodes/-rf flags; the scaling experiment sweeps
 	// it per cell.
 	Shards int
+
+	// Placement selects the sharded router's placement policy
+	// (cluster.Config.Placement; ddpbench -placement): "" or "hash" keeps
+	// the fixed hash coordinator, "load" spreads sketch-detected hot keys
+	// over the owning group by power-of-two-choices. The scaling
+	// experiment's skew phase ablates this per cell regardless.
+	Placement string
+
+	// ReplicaReads routes reads to the least-loaded owning replica
+	// (cluster.Config.ReplicaReads; ddpbench -replicareads). Legal only for
+	// weak-visibility models, so experiments that sweep models apply it to
+	// their weak-visibility cells only (config gates it per model); a
+	// single-model run on a strict model rejects it with a field error.
+	ReplicaReads bool
+
+	// FwdBatch coalesces routed ops per destination into multi-op messages
+	// of up to this many ops (cluster.Config.FwdBatch; ddpbench -fwdbatch).
+	// 0 — the default — keeps the unbatched router.
+	FwdBatch int
 }
 
 // DefaultOptions returns the paper's evaluation configuration.
@@ -106,7 +125,7 @@ func (o Options) Quick() Options {
 }
 
 func (o Options) config(m core.Model, w ycsb.Workload) cluster.Config {
-	return cluster.Config{
+	cfg := cluster.Config{
 		Model:     m,
 		Workload:  w,
 		Engine:    o.Engine,
@@ -120,6 +139,15 @@ func (o Options) config(m core.Model, w ycsb.Workload) cluster.Config {
 		NoFanoutFusion: o.NoFanoutFusion,
 		NoDevTrain:     o.NoDevTrain,
 	}
+	// The routing policies exist only on the sharded data plane, and replica
+	// reads only under weak visibility; sweeps apply the flags to the cells
+	// that can honor them (an unsharded cell has no router to place for).
+	if cfg.Shards >= 1 {
+		cfg.Placement = o.Placement
+		cfg.ReplicaReads = o.ReplicaReads && !core.UsesInvAckVal(m.C)
+		cfg.FwdBatch = o.FwdBatch
+	}
+	return cfg
 }
 
 // workers resolves the Parallel option to a concrete worker count.
@@ -168,6 +196,11 @@ func progressLine(w io.Writer, m core.Model, wl ycsb.Workload, r *cluster.Result
 		fmt.Fprintf(w, "      shards %d  nodes %d  rf %d  routed %5.1f%%  shard imbalance %.2fx\n",
 			shards, r.Config.Params.Servers, r.Config.Params.Servers/shards,
 			routedPct, shardImbalance(r))
+		if r.Config.Placement == "load" || r.Config.ReplicaReads {
+			fmt.Fprintf(w, "      placement %s  replica-reads %v  node imbalance %.2fx  group imbalance %.2fx\n",
+				r.Config.Placement, r.Config.ReplicaReads,
+				nodeImbalance(r), groupImbalance(r, r.Config.Params.Servers/shards))
+		}
 	}
 }
 

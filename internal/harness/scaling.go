@@ -53,11 +53,15 @@ type ScalingCurve struct {
 }
 
 // SkewPoint is one hot-shard cell: a model run at scalingSkewShards shards
-// under the given zipfian theta.
+// under the given zipfian theta and placement policy (the skew phase is a
+// placement-ablation grid: fixed-hash vs load-aware spreading, plus
+// least-loaded replica reads on the weak-visibility models).
 type SkewPoint struct {
-	Model core.Model
-	Theta float64
-	Res   *cluster.Result
+	Model        core.Model
+	Theta        float64
+	Placement    string
+	ReplicaReads bool
+	Res          *cluster.Result
 }
 
 // ScalingResult holds the full experiment.
@@ -87,6 +91,54 @@ func shardImbalance(r *cluster.Result) float64 {
 	return float64(max) * float64(len(r.ShardOps)) / float64(total)
 }
 
+// nodeImbalance returns max/mean of per-node executed ops across the whole
+// cluster — the grain that sees placement policies move work inside a
+// replica group (shard totals are fixed by data ownership).
+func nodeImbalance(r *cluster.Result) float64 {
+	if len(r.NodeOps) == 0 {
+		return 0
+	}
+	var total, max uint64
+	for _, n := range r.NodeOps {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(r.NodeOps)) / float64(total)
+}
+
+// groupImbalance returns max/mean executed ops across the replicas of the
+// busiest shard's group — the concentration coordinator spreading attacks:
+// under fixed-hash placement a zipfian hot key pins ~all of its shard's
+// forwarded ops on one coordinator (imbalance near rf), while load-aware
+// spreading walks it across the group (near 1).
+func groupImbalance(r *cluster.Result, rf int) float64 {
+	if len(r.NodeOps) == 0 || len(r.ShardOps) == 0 || rf <= 0 {
+		return 0
+	}
+	hot := 0
+	for s, n := range r.ShardOps {
+		if n > r.ShardOps[hot] {
+			hot = s
+		}
+	}
+	var sum, max uint64
+	for _, n := range r.NodeOps[hot*rf : hot*rf+rf] {
+		sum += n
+		if n > max {
+			max = n
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max) * float64(rf) / float64(sum)
+}
+
 // Scaling runs the scale-out grid: for each corner model and shard count it
 // simulates a cluster of shards x RF nodes behind the consistent-hash
 // routing layer, then replays the widest sharded configuration under
@@ -111,13 +163,34 @@ func Scaling(o Options) (*ScalingResult, error) {
 		}
 		res.Curves = append(res.Curves, curve)
 	}
+	heavy := scalingSkewTheta[len(scalingSkewTheta)-1]
 	for _, m := range models {
+		// The ablation ladder: fixed-hash at every theta for the skew
+		// baseline, then load-aware spreading and (where visibility allows)
+		// least-loaded replica reads at the heavy theta.
+		type variant struct {
+			theta     float64
+			placement string
+			rr        bool
+		}
+		var vars []variant
 		for _, theta := range scalingSkewTheta {
+			vars = append(vars, variant{theta, "hash", false})
+		}
+		vars = append(vars, variant{heavy, "load", false})
+		if !core.UsesInvAckVal(m.C) {
+			vars = append(vars, variant{heavy, "load", true})
+		}
+		for _, v := range vars {
 			oo := o
 			oo.Shards = scalingSkewShards
 			oo.Params.Servers = scalingSkewShards * rf
-			oo.Params.ZipfTheta = theta
-			res.Skew = append(res.Skew, SkewPoint{Model: m, Theta: theta})
+			oo.Params.ZipfTheta = v.theta
+			oo.Placement = v.placement
+			oo.ReplicaReads = v.rr
+			res.Skew = append(res.Skew, SkewPoint{
+				Model: m, Theta: v.theta, Placement: v.placement, ReplicaReads: v.rr,
+			})
 			cells = append(cells, cell{oo, m, ycsb.WorkloadA})
 		}
 	}
@@ -163,9 +236,9 @@ func (r *ScalingResult) WriteText(w io.Writer) {
 				p.Res.WallTime.Round(time.Millisecond))
 		}
 	}
-	fmt.Fprintf(w, "\nHot-shard skew at %d shards (zipfian theta, same cluster):\n", r.SkewShards)
-	fmt.Fprintf(w, "  %-34s %6s %12s %10s %12s\n",
-		"model", "theta", "Mops/s", "imbalance", "hottest")
+	fmt.Fprintf(w, "\nHot-shard skew at %d shards (zipfian theta x placement policy, same cluster):\n", r.SkewShards)
+	fmt.Fprintf(w, "  %-34s %6s %6s %3s %12s %9s %9s %9s %8s\n",
+		"model", "theta", "place", "rr", "Mops/s", "shard imb", "node imb", "group imb", "hottest")
 	for i := range r.Skew {
 		sp := &r.Skew[i]
 		var total, max uint64
@@ -175,9 +248,17 @@ func (r *ScalingResult) WriteText(w io.Writer) {
 				max = n
 			}
 		}
-		fmt.Fprintf(w, "  %-34s %6.3f %12.2f %9.2fx %11.1f%%\n",
-			sp.Model, sp.Theta, sp.Res.Summary.Throughput/1e6,
-			shardImbalance(sp.Res), 100*ratio(float64(max), float64(total)))
+		rr := "-"
+		if sp.ReplicaReads {
+			rr = "y"
+		}
+		fmt.Fprintf(w, "  %-34s %6.3f %6s %3s %12.2f %8.2fx %8.2fx %8.2fx %7.1f%%\n",
+			sp.Model, sp.Theta, sp.Placement, rr, sp.Res.Summary.Throughput/1e6,
+			shardImbalance(sp.Res), nodeImbalance(sp.Res), groupImbalance(sp.Res, r.RF),
+			100*ratio(float64(max), float64(total)))
 	}
-	fmt.Fprintln(w, "  imbalance = max/mean ops per shard; hottest = busiest shard's share of all executed ops.")
+	fmt.Fprintln(w, "  shard imb = max/mean ops per shard (fixed by data ownership — no placement policy can move it);")
+	fmt.Fprintln(w, "  node imb = max/mean ops per node cluster-wide; group imb = max/mean ops across the busiest")
+	fmt.Fprintln(w, "  shard's replicas — the coordinator concentration that \"load\" placement and replica reads attack;")
+	fmt.Fprintln(w, "  hottest = busiest shard's share of all executed ops.")
 }

@@ -5,6 +5,8 @@ import (
 	"encoding/csv"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 // scalingSmokeOptions shrinks the scaling grid's cells so the 96-node point
@@ -58,16 +60,40 @@ func TestScalingSmoke(t *testing.T) {
 			}
 		}
 	}
-	if len(res.Skew) != 8 {
-		t.Fatalf("%d skew points, want 4 models x 2 thetas", len(res.Skew))
-	}
-	for i := 0; i < len(res.Skew); i += 2 {
-		uniform := shardImbalance(res.Skew[i].Res)
-		skewed := shardImbalance(res.Skew[i+1].Res)
-		if skewed <= uniform {
-			t.Errorf("%s: theta=%.3f imbalance %.2f not above theta=%.3f's %.2f",
-				res.Skew[i].Model, res.Skew[i+1].Theta, skewed, res.Skew[i].Theta, uniform)
+	// The skew phase is a placement-ablation ladder per model: hash at both
+	// thetas, load at the heavy theta, plus load+replica-reads for the
+	// weak-visibility corners.
+	idx := 0
+	for _, c := range res.Curves {
+		uniform := &res.Skew[idx]
+		skewed := &res.Skew[idx+1]
+		load := &res.Skew[idx+2]
+		idx += 3
+		if uniform.Placement != "hash" || skewed.Placement != "hash" || load.Placement != "load" {
+			t.Fatalf("%s: ablation ladder out of order: %+v %+v %+v",
+				c.Model, uniform, skewed, load)
 		}
+		if si, ui := shardImbalance(skewed.Res), shardImbalance(uniform.Res); si <= ui {
+			t.Errorf("%s: theta=%.3f shard imbalance %.2f not above theta=%.3f's %.2f",
+				c.Model, skewed.Theta, si, uniform.Theta, ui)
+		}
+		if gl, gh := groupImbalance(load.Res, res.RF), groupImbalance(skewed.Res, res.RF); gl >= gh {
+			t.Errorf("%s: load placement group imbalance %.2f not below hash's %.2f",
+				c.Model, gl, gh)
+		}
+		if !core.UsesInvAckVal(c.Model.C) {
+			rr := &res.Skew[idx]
+			idx++
+			if !rr.ReplicaReads || rr.Placement != "load" {
+				t.Fatalf("%s: weak-visibility corner missing its replica-read cell: %+v", c.Model, rr)
+			}
+			if rr.Res.Summary.Ops == 0 {
+				t.Fatalf("%s: replica-read cell ran no ops", c.Model)
+			}
+		}
+	}
+	if idx != len(res.Skew) {
+		t.Fatalf("%d skew points, ablation ladder accounts for %d", len(res.Skew), idx)
 	}
 
 	// Both renderings must produce well-formed output.
